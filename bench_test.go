@@ -1,0 +1,394 @@
+// Experiment benchmarks, one per experiment of DESIGN.md §3. Each bench
+// regenerates the computational content of a figure, example or theorem of
+// the paper; cmd/hdbench prints the same data as human-readable rows and
+// EXPERIMENTS.md records paper-claim vs measured.
+package hypertree
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"hypertree/internal/csp"
+	"hypertree/internal/datalog"
+	"hypertree/internal/decomp"
+	"hypertree/internal/gen"
+	"hypertree/internal/hdeval"
+	"hypertree/internal/jointree"
+	"hypertree/internal/querydecomp"
+	"hypertree/internal/treewidth"
+	"hypertree/internal/xc3s"
+	"hypertree/internal/yannakakis"
+)
+
+// E1 / Fig. 1: join-tree construction for the acyclic Q2.
+func BenchmarkE01JoinTreeQ2(b *testing.B) {
+	h := QueryHypergraph(gen.Q2())
+	for i := 0; i < b.N; i++ {
+		if _, ok := jointree.GYO(h); !ok {
+			b.Fatal("Q2 acyclic")
+		}
+	}
+}
+
+// E2 / Fig. 2: the width-2 query decomposition search on Q1.
+func BenchmarkE02QueryWidthQ1(b *testing.B) {
+	h := QueryHypergraph(gen.Q1())
+	for i := 0; i < b.N; i++ {
+		s := querydecomp.NewSearcher(h, 2)
+		if _, ok := s.Search(); !ok {
+			b.Fatal("qw(Q1) = 2")
+		}
+	}
+}
+
+// E3 / Fig. 3: join tree of Q3, via both constructions.
+func BenchmarkE03JoinTreeQ3(b *testing.B) {
+	h := QueryHypergraph(gen.Q3())
+	b.Run("gyo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			jointree.GYO(h)
+		}
+	})
+	b.Run("maxspanning", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			jointree.MaxWeightSpanningTree(h)
+		}
+	})
+}
+
+// E4 / Fig. 4: pure width-2 query decomposition of Q4.
+func BenchmarkE04QueryWidthQ4(b *testing.B) {
+	h := QueryHypergraph(gen.Q4())
+	for i := 0; i < b.N; i++ {
+		s := querydecomp.NewSearcher(h, 2)
+		if _, ok := s.Search(); !ok {
+			b.Fatal("qw(Q4) = 2")
+		}
+	}
+}
+
+// E5 / Fig. 5: qw(Q5) = 3 — refute width 2 exhaustively, then find width 3.
+func BenchmarkE05QueryWidthQ5(b *testing.B) {
+	h := QueryHypergraph(gen.Q5())
+	b.Run("refute-k2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := querydecomp.NewSearcher(h, 2)
+			if _, ok := s.Search(); ok || !s.Exhausted {
+				b.Fatal("Q5 has no width-2 QD")
+			}
+		}
+	})
+	b.Run("find-k3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := querydecomp.NewSearcher(h, 3)
+			if _, ok := s.Search(); !ok {
+				b.Fatal("qw(Q5) = 3")
+			}
+		}
+	})
+}
+
+// E6 / Fig. 6: hypertree decompositions of Q1 (width 2) and Q5 (width 2).
+func BenchmarkE06HypertreeWidth(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		q    *Query
+		hw   int
+	}{{"Q1", gen.Q1(), 2}, {"Q5", gen.Q5(), 2}} {
+		h := QueryHypergraph(tc.q)
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, _ := decomp.Width(h)
+				if w != tc.hw {
+					b.Fatalf("hw = %d", w)
+				}
+			}
+		})
+	}
+}
+
+// E8 / Fig. 8, Lemma 4.6: transforming ⟨Q5, DB, HD⟩ into the acyclic
+// instance and evaluating it, as a function of database size r.
+func BenchmarkE08Lemma46(b *testing.B) {
+	q := gen.Q5()
+	_, d, _ := HypertreeWidth(q)
+	for _, r := range []int{50, 100, 200} {
+		db := gen.RandomDatabase(rand.New(rand.NewSource(1)), q, r, 16)
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hdeval.FromDecomposition(db, q, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E9 / Fig. 9, Theorem 5.4: normal-form computation.
+func BenchmarkE09NormalForm(b *testing.B) {
+	q := gen.Q5()
+	_, d, _ := HypertreeWidth(q)
+	dup := d.Complete() // a valid but redundant (non-NF) decomposition
+	for i := 0; i < b.N; i++ {
+		nf := decomp.Normalize(dup)
+		if err := nf.CheckNormalForm(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E10 / Fig. 10, Theorem 5.14: the k-decomp decision procedure across the
+// query families, sequential.
+func BenchmarkE10KDecomp(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		q    *Query
+		k    int
+	}{
+		{"cycle12-k2", gen.Cycle(12), 2},
+		{"grid3x3-k2", gen.Grid(3, 3), 2},
+		{"grid4x4-k3", gen.Grid(4, 4), 3},
+		{"q5-k2", gen.Q5(), 2},
+	} {
+		h := QueryHypergraph(tc.q)
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !decomp.Decide(h, tc.k) {
+					b.Fatalf("hw ≤ %d expected", tc.k)
+				}
+			}
+		})
+	}
+}
+
+// E11 / Fig. 11, Theorem 3.4: building the reduction query and the Fig. 11
+// decomposition from an exact cover.
+func BenchmarkE11Reduction(b *testing.B) {
+	ins := xc3s.RunningExample()
+	cover, _ := ins.Solve()
+	for i := 0; i < b.N; i++ {
+		red, err := xc3s.Build(ins)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := red.DecompositionFromCover(cover)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := querydecomp.Validate(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E12 / Theorem 4.5: acyclicity test vs width-1 decision on random inputs.
+func BenchmarkE12AcyclicHW1(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	queries := make([]*Hypergraph, 64)
+	for i := range queries {
+		queries[i] = QueryHypergraph(gen.RandomQuery(rng, 6, 6, 3))
+	}
+	b.Run("gyo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			jointree.IsAcyclic(queries[i%len(queries)])
+		}
+	})
+	b.Run("kdecomp-k1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			decomp.Decide(queries[i%len(queries)], 1)
+		}
+	})
+}
+
+// E13 / Theorem 6.1: hw ≤ qw measurement across the example corpus.
+func BenchmarkE13HwLeQw(b *testing.B) {
+	hs := []*Hypergraph{
+		QueryHypergraph(gen.Q1()), QueryHypergraph(gen.Q4()), QueryHypergraph(gen.Q5()),
+	}
+	for i := 0; i < b.N; i++ {
+		h := hs[i%len(hs)]
+		hw, _ := decomp.Width(h)
+		qw, _ := querydecomp.Width(h, hw)
+		if hw > qw {
+			b.Fatal("Theorem 6.1a violated")
+		}
+	}
+}
+
+// E14 / Theorem 6.2: the series over n for the class C_n — hw stays 1 while
+// the incidence treewidth grows as n.
+func BenchmarkE14ClassCn(b *testing.B) {
+	for _, n := range []int{2, 4, 6, 8} {
+		h := QueryHypergraph(gen.ClassCn(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !decomp.Decide(h, 1) {
+					b.Fatal("hw(Cn) = 1")
+				}
+				ub, lb, _ := treewidth.IncidenceTreewidth(h)
+				if ub != n || lb != n {
+					b.Fatalf("tw bounds [%d,%d], want %d", lb, ub, n)
+				}
+			}
+		})
+	}
+}
+
+// E15 / Theorems 4.7: Boolean evaluation of the cyclic 6-cycle query —
+// hypertree decomposition versus naive join, as the database grows.
+func BenchmarkE15Eval(b *testing.B) {
+	// Note the shape: at r=100 the naive join is still cheaper (the HD pays
+	// the r^k node materialisation), by r=400 the naive intermediates have
+	// blown past it by an order of magnitude, and beyond (r ≳ 1600, not run
+	// here) the naive join exhausts memory while the HD strategy stays
+	// polynomial — the Theorem 4.7 shape.
+	q := gen.Cycle(6)
+	_, d, _ := HypertreeWidth(q)
+	for _, r := range []int{100, 200, 400} {
+		db := gen.RandomDatabase(rand.New(rand.NewSource(2)), q, r, 32)
+		b.Run(fmt.Sprintf("hd/r=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hdeval.Boolean(db, q, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive/r=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hdeval.NaiveJoin(db, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E16 / Appendix B: the Datalog program deciding hw(Q1) ≤ 2 under the
+// well-founded semantics.
+func BenchmarkE16Datalog(b *testing.B) {
+	h := QueryHypergraph(gen.Q1())
+	for i := 0; i < b.N; i++ {
+		hp, err := datalog.NewHWProgram(h, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, err := hp.Decide()
+		if err != nil || !ok {
+			b.Fatalf("Appendix B: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// E17 / Section 6: all width measures side by side on the C_5 query.
+func BenchmarkE17Methods(b *testing.B) {
+	h := QueryHypergraph(gen.ClassCn(5))
+	for i := 0; i < b.N; i++ {
+		m := csp.Measure(h)
+		hw, _ := decomp.Width(h)
+		if hw != 1 || m.TreeClustering < 5 {
+			b.Fatalf("unexpected widths: hw=%d %+v", hw, m)
+		}
+	}
+}
+
+// E18 / Section 2.2: parallel versus sequential decomposition search on a
+// wider instance (speedup factor is hardware-dependent).
+func BenchmarkE18Parallel(b *testing.B) {
+	h := QueryHypergraph(gen.Grid(3, 4))
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !decomp.Decide(h, 3) {
+				b.Fatal("grid 3x4 has hw ≤ 3")
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !decomp.ParallelDecide(h, 3, 0) {
+				b.Fatal("grid 3x4 has hw ≤ 3")
+			}
+		}
+	})
+}
+
+// E19 / Lemma 7.3: strict (m,2)-3PS construction and verification.
+func BenchmarkE19ThreePS(b *testing.B) {
+	b.Run("construct-m32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			xc3s.NewStrictThreePS(32, 2)
+		}
+	})
+	b.Run("verify-m8", func(b *testing.B) {
+		ps := xc3s.NewStrictThreePS(8, 2)
+		for i := 0; i < b.N; i++ {
+			if err := ps.IsStrict(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E20 / Theorem 4.8: output-polynomial enumeration — time versus output
+// size on a star query whose answer grows linearly with the database.
+func BenchmarkE20OutputPoly(b *testing.B) {
+	q := MustParseQuery(`ans(X1, X2, X3) :- r1(C, X1), r2(C, X2), r3(C, X3).`)
+	jt, _ := QueryJoinTree(q)
+	head := q.HeadVars().Elems()
+	for _, r := range []int{100, 400, 1600} {
+		db := gen.RandomDatabase(rand.New(rand.NewSource(3)), q, r, r) // sparse: output ~ r
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				root, err := yannakakis.FromJoinTree(db, q, jt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				yannakakis.Enumerate(root, head)
+			}
+		})
+	}
+}
+
+// Ablation benches for the two k-decomp design choices documented in
+// DESIGN.md §4: subproblem memoisation and the frontier-based memo key.
+func BenchmarkAblationKDecomp(b *testing.B) {
+	h := QueryHypergraph(gen.Grid(4, 4))
+	run := func(b *testing.B, cfg func(*decomp.Decider)) {
+		for i := 0; i < b.N; i++ {
+			d := decomp.NewDecider(h, 3)
+			cfg(d)
+			if !d.Decide() {
+				b.Fatal("grid(4,4) has hw 3")
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, func(*decomp.Decider) {}) })
+	b.Run("no-memo", func(b *testing.B) { run(b, func(d *decomp.Decider) { d.DisableMemo = true }) })
+	b.Run("full-separator-key", func(b *testing.B) { run(b, func(d *decomp.Decider) { d.FullSeparatorKey = true }) })
+}
+
+// Ablation: the parallel Yannakakis reducer against the sequential one on a
+// wide star-of-chains join tree.
+func BenchmarkAblationParallelReduce(b *testing.B) {
+	q := gen.Star(12)
+	jt, _ := QueryJoinTree(q)
+	db := gen.RandomDatabase(rand.New(rand.NewSource(4)), q, 3000, 64)
+	build := func() *yannakakis.Node {
+		root, err := yannakakis.FromJoinTree(db, q, jt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return root
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			yannakakis.Reduce(build())
+		}
+	})
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			yannakakis.ParallelReduce(build(), 0)
+		}
+	})
+}

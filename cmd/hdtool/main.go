@@ -1,0 +1,120 @@
+// Command hdtool computes and prints decompositions of conjunctive queries.
+//
+// Usage:
+//
+//	hdtool [flags] [queryfile]
+//
+// The query is read from the file argument or from stdin, in rule syntax:
+//
+//	ans(X) :- r(X,Y), s(Y,Z), t(Z,X).
+//
+// Flags:
+//
+//	-k N        decide hw ≤ N and print a width-≤N decomposition
+//	-opt        compute the exact hypertree width (default)
+//	-qw         also compute the query width (exponential search!)
+//	-parallel N use N workers for the decomposition search
+//	-dot        emit Graphviz output instead of text
+//	-jointree   print a join tree if the query is acyclic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hypertree"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 0, "decide hw ≤ k (0 = compute exact width)")
+		qw       = flag.Bool("qw", false, "also compute the query width (exponential)")
+		parallel = flag.Int("parallel", 0, "worker goroutines for the search (0 = sequential)")
+		dot      = flag.Bool("dot", false, "emit Graphviz output")
+		jt       = flag.Bool("jointree", false, "print a join tree if acyclic")
+	)
+	flag.Parse()
+	if err := run(*k, *qw, *parallel, *dot, *jt, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "hdtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(k int, qw bool, parallel int, dot, printJT bool, args []string) error {
+	src, err := readInput(args)
+	if err != nil {
+		return err
+	}
+	q, err := hypertree.ParseQuery(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("atoms: %d, variables: %d\n", len(q.Atoms), q.NumVars())
+	fmt.Printf("acyclic: %v\n", hypertree.IsAcyclic(q))
+
+	if printJT {
+		if tree, ok := hypertree.QueryJoinTree(q); ok && tree != nil {
+			fmt.Println("join tree (atom indices):")
+			fmt.Print(tree.String())
+		} else {
+			fmt.Println("no join tree: query is cyclic")
+		}
+	}
+
+	var d *hypertree.Decomposition
+	if k > 0 {
+		if parallel > 0 {
+			d = hypertree.DecomposeParallel(q, k, parallel)
+		} else {
+			d = hypertree.Decompose(q, k)
+		}
+		if d == nil {
+			fmt.Printf("hw(Q) > %d\n", k)
+			return nil
+		}
+		fmt.Printf("hw(Q) ≤ %d, found width %d\n", k, d.Width())
+	} else {
+		w, dec, err := hypertree.HypertreeWidth(q)
+		if err != nil {
+			return err
+		}
+		d = dec
+		fmt.Printf("hypertree width: %d\n", w)
+	}
+	if err := hypertree.ValidateHD(d); err != nil {
+		return fmt.Errorf("internal error: produced decomposition invalid: %v", err)
+	}
+	if dot {
+		fmt.Print(hypertree.DOT(d))
+	} else {
+		fmt.Println("decomposition (atom representation, '_' = projected out):")
+		fmt.Print(hypertree.AtomRepresentation(q, d))
+		fmt.Println("decomposition (χ / λ):")
+		fmt.Print(hypertree.ChiLambdaRepresentation(d))
+	}
+
+	if qw {
+		w, qd, err := hypertree.QueryWidth(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query width: %d\n", w)
+		fmt.Print(hypertree.AtomRepresentation(q, qd))
+	}
+	return nil
+}
+
+func readInput(args []string) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("expected at most one query file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		b, err := os.ReadFile(args[0])
+		return string(b), err
+	}
+	b, err := io.ReadAll(os.Stdin)
+	return string(b), err
+}

@@ -1,0 +1,86 @@
+// Command qeval evaluates a conjunctive query against a database of facts.
+//
+// Usage:
+//
+//	qeval -query queryfile -db factsfile [-strategy auto|naive|acyclic|hd]
+//
+// The query file holds one rule ("ans(X) :- r(X,Y), s(Y,Z)."); the facts
+// file holds ground atoms, one or more per line ("r(a,b). s(b,c)."). For a
+// Boolean query the verdict is printed; otherwise the answer relation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hypertree"
+)
+
+func main() {
+	var (
+		queryFile = flag.String("query", "", "file holding the conjunctive query")
+		dbFile    = flag.String("db", "", "file holding the facts")
+		strategy  = flag.String("strategy", "auto", "auto | naive | acyclic | hd")
+		timing    = flag.Bool("time", false, "print evaluation wall time")
+	)
+	flag.Parse()
+	if err := run(*queryFile, *dbFile, *strategy, *timing); err != nil {
+		fmt.Fprintln(os.Stderr, "qeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryFile, dbFile, strategyName string, timing bool) error {
+	if queryFile == "" || dbFile == "" {
+		return fmt.Errorf("both -query and -db are required")
+	}
+	qsrc, err := os.ReadFile(queryFile)
+	if err != nil {
+		return err
+	}
+	q, err := hypertree.ParseQuery(string(qsrc))
+	if err != nil {
+		return err
+	}
+	facts, err := os.ReadFile(dbFile)
+	if err != nil {
+		return err
+	}
+	db := hypertree.NewDatabase()
+	if err := db.ParseFacts(string(facts)); err != nil {
+		return err
+	}
+
+	var strategy hypertree.Strategy
+	switch strategyName {
+	case "auto":
+		strategy = hypertree.StrategyAuto
+	case "naive":
+		strategy = hypertree.StrategyNaive
+	case "acyclic":
+		strategy = hypertree.StrategyAcyclic
+	case "hd":
+		strategy = hypertree.StrategyHypertree
+	default:
+		return fmt.Errorf("unknown strategy %q", strategyName)
+	}
+
+	start := time.Now()
+	ok, table, err := hypertree.Evaluate(db, q, strategy)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	if q.IsBoolean() {
+		fmt.Println(ok)
+	} else {
+		fmt.Printf("%d answers\n", table.Rows())
+		fmt.Println(table.StringWith(db, q.VarName))
+	}
+	if timing {
+		fmt.Printf("evaluated in %v\n", elapsed)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunAllStrategies(t *testing.T) {
+	q := write(t, "q.cq", `r(X,Y), s(Y,Z), t(Z,X).`)
+	db := write(t, "f.db", "r(a,b). s(b,c). t(c,a).")
+	for _, s := range []string{"auto", "naive", "hd"} {
+		if err := run(q, db, s, true); err != nil {
+			t.Errorf("strategy %s: %v", s, err)
+		}
+	}
+	// acyclic strategy on a cyclic query must fail
+	if err := run(q, db, "acyclic", false); err == nil {
+		t.Error("acyclic strategy on cyclic query accepted")
+	}
+	if err := run(q, db, "bogus", false); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunNonBoolean(t *testing.T) {
+	q := write(t, "q.cq", `ans(X) :- r(X,Y), s(Y,Z).`)
+	db := write(t, "f.db", "r(a,b). s(b,c).")
+	if err := run(q, db, "auto", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "auto", false); err == nil {
+		t.Error("missing flags accepted")
+	}
+	q := write(t, "q.cq", `r(X).`)
+	if err := run(q, "/does/not/exist", "auto", false); err == nil {
+		t.Error("missing db accepted")
+	}
+	bad := write(t, "bad.db", "zzz")
+	if err := run(q, bad, "auto", false); err == nil {
+		t.Error("malformed facts accepted")
+	}
+	badQ := write(t, "bad.cq", "((")
+	db := write(t, "f.db", "r(a).")
+	if err := run(badQ, db, "auto", false); err == nil {
+		t.Error("malformed query accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: parse a conjunctive query, inspect its structure, compute a
+// hypertree decomposition, and evaluate it on a small database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypertree"
+)
+
+func main() {
+	// Q1 of the paper's Example 1.1: "is some student enrolled in a course
+	// taught by their own parent?" — a cyclic query.
+	q, err := hypertree.ParseQuery(`
+		ans() :- enrolled(S, C, R), teaches(P, C, A), parent(P, S).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:   ", q)
+	fmt.Println("acyclic: ", hypertree.IsAcyclic(q)) // false
+
+	w, d, err := hypertree.HypertreeWidth(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hypertree width:", w) // 2
+	fmt.Println("decomposition ('_' marks projected-out variables):")
+	fmt.Print(hypertree.AtomRepresentation(q, d))
+
+	db := hypertree.NewDatabase()
+	err = db.ParseFacts(`
+		enrolled(ann, cs101, jan).
+		enrolled(bob, db202, feb).
+		teaches(carol, cs101, yes).   % carol teaches cs101...
+		parent(carol, ann).           % ...and is ann's parent
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := hypertree.EvaluateBoolean(db, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q1 on the database:", ok) // true
+
+	// Non-Boolean variant: who are the students?
+	q2 := hypertree.MustParseQuery(`ans(S) :- enrolled(S, C, R), teaches(P, C, A), parent(P, S).`)
+	_, table, err := hypertree.Evaluate(db, q2, hypertree.StrategyAuto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("witnesses:")
+	fmt.Println(table.StringWith(db, q2.VarName))
+}

@@ -1,0 +1,264 @@
+// Package hypertree is a library reproduction of
+//
+//	G. Gottlob, N. Leone, F. Scarcello:
+//	"Hypertree Decompositions and Tractable Queries"
+//	(PODS 1999; JCSS 64(3):579–627, 2002)
+//
+// It provides conjunctive queries and their hypergraphs, acyclicity and join
+// trees, hypertree decompositions (detection, construction, validation,
+// normal form, parallel search), query decompositions (exact exponential
+// search — the problem is NP-complete, Theorem 3.4), the Section 7 reduction
+// machinery, the Appendix B Datalog decision procedure, and query evaluation
+// through decompositions (Lemma 4.6 + Yannakakis).
+//
+// Quick start:
+//
+//	q, _ := hypertree.ParseQuery(`enrolled(S,C,R), teaches(P,C,A), parent(P,S)`)
+//	w, d, _ := hypertree.HypertreeWidth(q)       // w = 2
+//	fmt.Print(hypertree.AtomRepresentation(q, d)) // Fig. 7 style rendering
+//
+//	db := hypertree.NewDatabase()
+//	db.ParseFacts(`enrolled(ann,cs1,jan). teaches(bob,cs1,y). parent(bob,ann).`)
+//	ans, _ := hypertree.EvaluateBoolean(db, q)   // true
+package hypertree
+
+import (
+	"fmt"
+
+	"hypertree/internal/cq"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hdeval"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/jointree"
+	"hypertree/internal/querydecomp"
+	"hypertree/internal/relation"
+	"hypertree/internal/yannakakis"
+)
+
+// Core re-exported types. A Decomposition carries the hypergraph it
+// decomposes; build queries with ParseQuery and databases with NewDatabase.
+type (
+	// Query is a conjunctive query in rule form.
+	Query = cq.Query
+	// Atom is a body or head atom of a query.
+	Atom = cq.Atom
+	// Term is a variable or constant argument.
+	Term = cq.Term
+	// Hypergraph is the query hypergraph H(Q) (or any hypergraph).
+	Hypergraph = hypergraph.Hypergraph
+	// Decomposition is a hypertree ⟨T, χ, λ⟩ (Definition 4.1); it is also
+	// used for pure query decompositions (χ = var(λ)).
+	Decomposition = decomp.Decomposition
+	// DecompositionNode is a node of a Decomposition.
+	DecompositionNode = decomp.Node
+	// JoinTree is a join tree over the atoms of an acyclic query.
+	JoinTree = jointree.Tree
+	// Database is a set of relations over interned constants.
+	Database = relation.Database
+	// Table is a relation over query variables (query answers).
+	Table = relation.Table
+)
+
+// ParseQuery parses a conjunctive query in rule syntax, e.g.
+// "ans(X) :- r(X,Y), s(Y,Z)." (the head is optional).
+func ParseQuery(src string) (*Query, error) { return cq.Parse(src) }
+
+// MustParseQuery is ParseQuery panicking on error.
+func MustParseQuery(src string) *Query { return cq.MustParse(src) }
+
+// NewDatabase returns an empty database; load it with AddFact or ParseFacts.
+func NewDatabase() *Database { return relation.NewDatabase() }
+
+// QueryHypergraph returns H(Q): one vertex per variable, one edge per body
+// atom with at least one variable (Section 2.1).
+func QueryHypergraph(q *Query) *Hypergraph {
+	h, _ := q.Hypergraph()
+	return h
+}
+
+// CanonicalQuery returns the canonical query cq(H) of a hypergraph
+// (Appendix A, Definition A.2).
+func CanonicalQuery(h *Hypergraph) *Query { return cq.CanonicalQuery(h) }
+
+// IsAcyclic reports whether the query is acyclic (has a join tree).
+func IsAcyclic(q *Query) bool { return jointree.IsAcyclic(QueryHypergraph(q)) }
+
+// QueryJoinTree returns a join tree of an acyclic query via the GYO
+// reduction, or false for cyclic queries.
+func QueryJoinTree(q *Query) (*JoinTree, bool) { return jointree.GYO(QueryHypergraph(q)) }
+
+// HypertreeWidth computes hw(Q) and an optimal normal-form decomposition
+// using the k-decomp algorithm of Section 5.
+func HypertreeWidth(q *Query) (int, *Decomposition, error) {
+	w, d := decomp.Width(QueryHypergraph(q))
+	if err := d.Validate(); err != nil {
+		return 0, nil, fmt.Errorf("hypertree: internal error: %w", err)
+	}
+	return w, d, nil
+}
+
+// HypergraphWidth is HypertreeWidth for a bare hypergraph (Appendix A:
+// hw(H) = hw(cq(H)), Theorem A.7).
+func HypergraphWidth(h *Hypergraph) (int, *Decomposition) { return decomp.Width(h) }
+
+// DecideWidth reports whether hw(Q) ≤ k, in polynomial time for fixed k
+// (Theorem 5.16).
+func DecideWidth(q *Query, k int) bool { return decomp.Decide(QueryHypergraph(q), k) }
+
+// Decompose returns a width-≤k normal-form hypertree decomposition of Q, or
+// nil if hw(Q) > k.
+func Decompose(q *Query, k int) *Decomposition { return decomp.Decompose(QueryHypergraph(q), k) }
+
+// DecomposeParallel is Decompose with the root-level guesses of the
+// alternating algorithm distributed over worker goroutines (the operational
+// reading of the LOGCFL parallelizability statement; workers ≤ 0 means
+// GOMAXPROCS).
+func DecomposeParallel(q *Query, k, workers int) *Decomposition {
+	return decomp.ParallelDecompose(QueryHypergraph(q), k, workers)
+}
+
+// ValidateHD checks the four conditions of Definition 4.1.
+func ValidateHD(d *Decomposition) error { return d.Validate() }
+
+// ValidateQD checks the pure query-decomposition conditions of
+// Definition 3.1.
+func ValidateQD(d *Decomposition) error { return querydecomp.Validate(d) }
+
+// Normalize rewrites a valid decomposition into normal form (Definition
+// 5.1) without increasing the width (Theorem 5.4).
+func Normalize(d *Decomposition) *Decomposition { return decomp.Normalize(d) }
+
+// QueryWidthResult reports the outcome of the exponential query-width
+// search.
+type QueryWidthResult struct {
+	Found         bool
+	Exhausted     bool // false when the step budget cut the search off
+	Decomposition *Decomposition
+	Steps         int
+}
+
+// SearchQueryDecomposition looks for a pure query decomposition of width
+// ≤ k (Definition 3.1). Deciding this is NP-complete for k = 4
+// (Theorem 3.4): the search is exponential, with maxSteps (0 = unlimited)
+// as a safety budget.
+func SearchQueryDecomposition(q *Query, k, maxSteps int) QueryWidthResult {
+	s := querydecomp.NewSearcher(QueryHypergraph(q), k)
+	s.MaxSteps = maxSteps
+	d, ok := s.Search()
+	return QueryWidthResult{Found: ok, Exhausted: s.Exhausted, Decomposition: d, Steps: s.Steps}
+}
+
+// QueryWidth computes qw(Q) exactly by the exponential search, starting
+// from the hypertree width lower bound (Theorem 6.1a). Use only on small
+// queries.
+func QueryWidth(q *Query) (int, *Decomposition, error) {
+	h := QueryHypergraph(q)
+	hw, _ := decomp.Width(h)
+	w, d := querydecomp.Width(h, hw)
+	if err := querydecomp.Validate(d); err != nil {
+		return 0, nil, fmt.Errorf("hypertree: internal error: %w", err)
+	}
+	return w, d, nil
+}
+
+// Strategy selects how Evaluate runs a query.
+type Strategy int
+
+const (
+	// StrategyAuto uses Yannakakis on acyclic queries and a hypertree
+	// decomposition otherwise.
+	StrategyAuto Strategy = iota
+	// StrategyNaive joins all atoms with no decomposition (baseline).
+	StrategyNaive
+	// StrategyAcyclic runs Yannakakis on a join tree (acyclic queries only).
+	StrategyAcyclic
+	// StrategyHypertree evaluates through an optimal hypertree
+	// decomposition (Lemma 4.6).
+	StrategyHypertree
+)
+
+// Evaluate runs q against db: Boolean queries yield Boolean, others the
+// answer Table over the head variables.
+func Evaluate(db *Database, q *Query, strategy Strategy) (bool, *Table, error) {
+	if strategy == StrategyAuto {
+		if IsAcyclic(q) {
+			strategy = StrategyAcyclic
+		} else {
+			strategy = StrategyHypertree
+		}
+	}
+	switch strategy {
+	case StrategyNaive:
+		t, err := hdeval.NaiveJoin(db, q)
+		if err != nil {
+			return false, nil, err
+		}
+		return !t.Empty(), t, nil
+	case StrategyAcyclic:
+		jt, ok := QueryJoinTree(q)
+		if !ok {
+			return false, nil, fmt.Errorf("hypertree: StrategyAcyclic on a cyclic query")
+		}
+		if jt == nil { // no atoms with variables: only ground atoms
+			ok, err := yannakakis.GroundAtomsHold(db, q)
+			return ok, boolTable(ok), err
+		}
+		root, err := yannakakis.FromJoinTree(db, q, jt)
+		if err != nil {
+			return false, nil, err
+		}
+		if q.IsBoolean() {
+			b := yannakakis.Boolean(root)
+			return b, boolTable(b), nil
+		}
+		head := q.HeadVars().Elems()
+		t := yannakakis.Enumerate(root, head)
+		return !t.Empty(), t, nil
+	case StrategyHypertree:
+		h := QueryHypergraph(q)
+		if h.NumEdges() == 0 {
+			ok, err := yannakakis.GroundAtomsHold(db, q)
+			return ok, boolTable(ok), err
+		}
+		_, d := decomp.Width(h)
+		if q.IsBoolean() {
+			b, err := hdeval.Boolean(db, q, d)
+			return b, boolTable(b), err
+		}
+		t, err := hdeval.Enumerate(db, q, d)
+		if err != nil {
+			return false, nil, err
+		}
+		return !t.Empty(), t, nil
+	default:
+		return false, nil, fmt.Errorf("hypertree: unknown strategy %d", strategy)
+	}
+}
+
+// EvaluateBoolean decides a Boolean query with the automatic strategy.
+func EvaluateBoolean(db *Database, q *Query) (bool, error) {
+	b, _, err := Evaluate(db, q, StrategyAuto)
+	return b, err
+}
+
+// EvaluateWith evaluates through a caller-supplied hypertree decomposition
+// (useful when the decomposition is reused across databases, the setting of
+// Theorem 4.7).
+func EvaluateWith(db *Database, q *Query, d *Decomposition) (bool, *Table, error) {
+	if q.IsBoolean() {
+		b, err := hdeval.Boolean(db, q, d)
+		return b, boolTable(b), err
+	}
+	t, err := hdeval.Enumerate(db, q, d)
+	if err != nil {
+		return false, nil, err
+	}
+	return !t.Empty(), t, nil
+}
+
+func boolTable(b bool) *Table {
+	if b {
+		return relation.TrueTable()
+	}
+	return relation.NewTable(nil)
+}

@@ -1,0 +1,194 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a conjunctive query in rule syntax:
+//
+//	ans(X,Y) :- r(X,Y), s(Y,c1), t("lit",X).
+//
+// Rules:
+//   - the head is optional: a bare body "r(X,Y), s(Y,Z)." is a Boolean query;
+//   - ":-" and "<-" are accepted as the rule operator;
+//   - identifiers starting with an upper-case letter or '_' are variables,
+//     all other identifiers, numbers and quoted strings are constants;
+//   - '%' and '#' start comments running to end of line;
+//   - the trailing period is optional.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	var head *Atom
+	var body []Atom
+
+	first, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.eat(":-") || p.eat("<-") {
+		head = &first
+	} else {
+		body = append(body, first)
+	}
+	for {
+		p.skipSpace()
+		if p.done() || p.eat(".") {
+			break
+		}
+		if len(body) > 0 { // after the first body atom a comma is required
+			if !p.eat(",") {
+				return nil, p.errf("expected ',' or '.' between atoms")
+			}
+			p.skipSpace()
+		}
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, a)
+	}
+	p.skipSpace()
+	if !p.done() {
+		return nil, p.errf("trailing input")
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("cq: query has no body atoms")
+	}
+	return NewQuery(head, body), nil
+}
+
+// MustParse is Parse that panics on error (for tests and examples).
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.src) }
+
+func (p *parser) errf(format string, args ...any) error {
+	prefix := fmt.Sprintf("cq: parse error at offset %d: ", p.pos)
+	return fmt.Errorf(prefix+format, args...)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.pos++
+		case c == '%' || c == '#':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\'' && p.pos > start {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier, found %q", rest(p.src[p.pos:]))
+	}
+	return p.src[start:p.pos], nil
+}
+
+func rest(s string) string {
+	if len(s) > 12 {
+		return s[:12] + "..."
+	}
+	return s
+}
+
+func (p *parser) atom() (Atom, error) {
+	p.skipSpace()
+	name, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	if r := rune(name[0]); !unicode.IsLetter(r) && r != '_' {
+		return Atom{}, p.errf("predicate name %q must start with a letter", name)
+	}
+	p.skipSpace()
+	if !p.eat("(") {
+		return Atom{}, p.errf("expected '(' after predicate %q", name)
+	}
+	var args []Term
+	p.skipSpace()
+	if p.eat(")") {
+		return Atom{Pred: name, Args: args}, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+		p.skipSpace()
+		if p.eat(")") {
+			return Atom{Pred: name, Args: args}, nil
+		}
+		if !p.eat(",") {
+			return Atom{}, p.errf("expected ',' or ')' in argument list of %q", name)
+		}
+		p.skipSpace()
+	}
+}
+
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	if p.done() {
+		return Term{}, p.errf("expected term")
+	}
+	c := p.src[p.pos]
+	if c == '"' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			p.pos++
+		}
+		if p.done() {
+			return Term{}, p.errf("unterminated string literal")
+		}
+		lit := p.src[start:p.pos]
+		p.pos++
+		return Const(lit), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	r := rune(name[0])
+	if unicode.IsUpper(r) || r == '_' {
+		return Var(name), nil
+	}
+	return Const(name), nil
+}

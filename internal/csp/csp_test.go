@@ -1,0 +1,90 @@
+package csp
+
+import (
+	"testing"
+
+	"hypertree/internal/cq"
+	"hypertree/internal/gen"
+	"hypertree/internal/hypergraph"
+)
+
+func hg(src string) *hypergraph.Hypergraph {
+	h, _ := cq.MustParse(src).Hypergraph()
+	return h
+}
+
+func TestBiconnectedWidth(t *testing.T) {
+	// triangle primal graph: one biconnected component of 3 vertices
+	if got := BiconnectedWidth(hg(`r(X,Y), s(Y,Z), t(Z,X)`)); got != 3 {
+		t.Errorf("triangle: %d, want 3", got)
+	}
+	// chain: biconnected components are single edges
+	if got := BiconnectedWidth(hg(`r(A,B), s(B,C), t(C,D)`)); got != 2 {
+		t.Errorf("chain: %d, want 2", got)
+	}
+}
+
+func TestCycleCutset(t *testing.T) {
+	// a single cycle needs one cut vertex
+	h, _ := gen.Cycle(6).Hypergraph()
+	cut := CycleCutset(h)
+	if len(cut) != 1 {
+		t.Errorf("cycle cutset = %v, want one vertex", cut)
+	}
+	if CutsetWidth(h) != 2 {
+		t.Errorf("CutsetWidth = %d", CutsetWidth(h))
+	}
+	// a forest needs none
+	hp, _ := gen.Path(5).Hypergraph()
+	if len(CycleCutset(hp)) != 0 {
+		t.Errorf("path should need no cutset")
+	}
+	// two disjoint triangles need two
+	h2 := hg(`r(X,Y), s(Y,Z), t(Z,X), r2(A,B), s2(B,C), t2(C,A)`)
+	if got := len(CycleCutset(h2)); got != 2 {
+		t.Errorf("two triangles: cutset size %d, want 2", got)
+	}
+}
+
+func TestTreeClusteringWidth(t *testing.T) {
+	if got := TreeClusteringWidth(hg(`r(X,Y), s(Y,Z), t(Z,X)`)); got != 3 {
+		t.Errorf("triangle tree clustering: %d, want 3 (one clique)", got)
+	}
+	if got := TreeClusteringWidth(hg(`r(A,B), s(B,C)`)); got != 2 {
+		t.Errorf("path tree clustering: %d, want 2", got)
+	}
+	empty := hypergraph.New()
+	if got := TreeClusteringWidth(empty); got != 0 {
+		t.Errorf("empty: %d", got)
+	}
+}
+
+// E17 sanity: on the class C_n every primal-graph method degrades (the
+// shared X-block is a clique of size n), exactly the Section 6 argument for
+// why hypertree width is more general.
+func TestE17ClassCnDegradesGraphMethods(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		h, _ := gen.ClassCn(n).Hypergraph()
+		m := Measure(h)
+		if m.Biconnected < n {
+			t.Errorf("n=%d: biconnected %d, want ≥ n", n, m.Biconnected)
+		}
+		if m.TreeClustering < n {
+			t.Errorf("n=%d: tree clustering %d, want ≥ n", n, m.TreeClustering)
+		}
+		if m.PrimalTW < n-1 {
+			t.Errorf("n=%d: primal treewidth %d, want ≥ n-1", n, m.PrimalTW)
+		}
+		if m.IncidenceTW != n {
+			t.Errorf("n=%d: incidence treewidth %d, want n", n, m.IncidenceTW)
+		}
+	}
+}
+
+func TestMeasureOnAcyclicQuery(t *testing.T) {
+	h, _ := gen.Path(4).Hypergraph()
+	m := Measure(h)
+	if m.CutsetSize != 0 || m.PrimalTW != 1 {
+		t.Errorf("path measures = %+v", m)
+	}
+}

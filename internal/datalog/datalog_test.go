@@ -1,0 +1,258 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/cq"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+func TestPositiveProgramReachability(t *testing.T) {
+	p, err := Parse(`
+edge(a, b). edge(b, c). edge(c, d).
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.WellFounded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Total() {
+		t.Fatalf("positive program must have a total WFM")
+	}
+	if !m.True.Has(Atom{Pred: "reach", Args: []string{"a", "d"}}) {
+		t.Fatalf("a reaches d")
+	}
+	if m.True.Has(Atom{Pred: "reach", Args: []string{"d", "a"}}) {
+		t.Fatalf("d does not reach a")
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	p, err := Parse(`
+node(a). node(b). node(c).
+edge(a, b).
+source(X) :- node(X), not hasin(X).
+hasin(Y) :- edge(X, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.WellFounded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Total() {
+		t.Fatalf("stratified program must be total")
+	}
+	for _, want := range []string{"a", "c"} {
+		if !m.True.Has(Atom{Pred: "source", Args: []string{want}}) {
+			t.Errorf("source(%s) should hold", want)
+		}
+	}
+	if m.True.Has(Atom{Pred: "source", Args: []string{"b"}}) {
+		t.Errorf("b has an incoming edge")
+	}
+}
+
+// The win-move game. A pure 2-cycle (a ↔ b, no escapes) leaves both
+// positions undefined under the well-founded semantics; a separate chain
+// x → y gives a definite win and a definite loss.
+func TestWellFoundedUndefined(t *testing.T) {
+	p, err := Parse(`
+move(a, b). move(b, a).
+move(x, y).
+win(X) :- move(X, Y), not win(Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.WellFounded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() {
+		t.Fatalf("win-move on a draw cycle must have undefined atoms")
+	}
+	// the cycle positions are undefined: possible but not true
+	for _, pos := range []string{"a", "b"} {
+		at := Atom{Pred: "win", Args: []string{pos}}
+		if m.True.Has(at) || !m.Possible.Has(at) {
+			t.Errorf("win(%s) should be undefined", pos)
+		}
+	}
+	// the chain resolves: x wins, y loses
+	if !m.True.Has(Atom{Pred: "win", Args: []string{"x"}}) {
+		t.Errorf("win(x) should be true")
+	}
+	if m.Possible.Has(Atom{Pred: "win", Args: []string{"y"}}) {
+		t.Errorf("win(y) should be false")
+	}
+}
+
+// When the cycle has an escape to a lost position, the game resolves
+// completely: b wins via c, and a (whose only move reaches the winner b)
+// loses. The WFM is total here.
+func TestWinMoveWithEscapeIsTotal(t *testing.T) {
+	p, err := Parse(`
+move(a, b). move(b, a). move(b, c).
+win(X) :- move(X, Y), not win(Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.WellFounded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Total() {
+		t.Fatalf("the escape resolves the cycle; model should be total")
+	}
+	if !m.True.Has(Atom{Pred: "win", Args: []string{"b"}}) {
+		t.Errorf("win(b) should be true")
+	}
+	if m.Possible.Has(Atom{Pred: "win", Args: []string{"a"}}) {
+		t.Errorf("win(a) should be false")
+	}
+}
+
+func TestValidateSafety(t *testing.T) {
+	cases := []string{
+		`p(X) :- not q(X).`, // unsafe negative
+		`p(X, Y) :- q(X).`,  // unsafe head
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("unsafe program accepted: %s", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`p(X :- q(X).`,
+		`p(X) :- q(X), .`,
+		`p(X) :- q(X) r(X).`,
+		`p(,) :- q(X).`,
+		`not p(a).`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	p, err := Parse(`p(X) :- q(X), not r(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Rules[0].String()
+	if s != "p(X) :- q(X), not r(X)." {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func hg(src string) *hypergraph.Hypergraph {
+	h, _ := cq.MustParse(src).Hypergraph()
+	return h
+}
+
+// E16 / Appendix B: the Datalog program agrees with the k-decomp search on
+// the paper queries for k = 1, 2, 3, and the extracted decompositions
+// validate.
+func TestE16AppendixBAgreesWithKDecomp(t *testing.T) {
+	queries := []string{
+		`enrolled(S, C, R), teaches(P, C, A), parent(P, S)`,
+		`teaches(P, C, A), enrolled(S, C2, R), parent(P, S)`,
+		`s1(Y, Z, U), g(X, Y), t1(Z, X), s2(Z, W, X), t2(Y, Z)`,
+		`r(X,Y), s(Y,Z), t(Z,X)`,
+	}
+	for _, src := range queries {
+		h := hg(src)
+		for k := 1; k <= 3; k++ {
+			hp, err := NewHWProgram(h, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := hp.Decide()
+			if err != nil {
+				t.Fatalf("%q k=%d: %v", src, k, err)
+			}
+			want := decomp.Decide(h, k)
+			if got != want {
+				t.Fatalf("%q k=%d: datalog=%v kdecomp=%v", src, k, got, want)
+			}
+			if got {
+				d, err := hp.Extract()
+				if err != nil {
+					t.Fatalf("%q k=%d: Extract: %v", src, k, err)
+				}
+				if err := d.Validate(); err != nil {
+					t.Fatalf("%q k=%d: extracted decomposition invalid: %v", src, k, err)
+				}
+				if d.Width() > k {
+					t.Fatalf("%q k=%d: extracted width %d", src, k, d.Width())
+				}
+			} else {
+				if _, err := hp.Extract(); err == nil {
+					t.Fatalf("Extract should fail when hw > k")
+				}
+			}
+		}
+	}
+}
+
+// Property: on random small hypergraphs the Appendix B decision matches the
+// Section 5 algorithm, and the WFM is always total (weak stratification).
+func TestPropertyAppendixBRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		h := hypergraph.New()
+		nv := 2 + rng.Intn(5)
+		for v := 0; v < nv; v++ {
+			h.AddVertex(string(rune('A' + v)))
+		}
+		ne := 1 + rng.Intn(4)
+		for e := 0; e < ne; e++ {
+			var s bitset.Set
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				s.Add(rng.Intn(nv))
+			}
+			h.AddEdgeSet("e"+string(rune('a'+e)), s)
+		}
+		k := 1 + rng.Intn(2)
+		hp, err := NewHWProgram(h, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := hp.Decide()
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, h)
+		}
+		if want := decomp.Decide(h, k); got != want {
+			t.Fatalf("trial %d k=%d: datalog=%v kdecomp=%v\n%s", trial, k, got, want, h)
+		}
+	}
+}
+
+func TestHWProgramEmptyHypergraph(t *testing.T) {
+	hp, err := NewHWProgram(hypergraph.New(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := hp.Decide()
+	if err != nil || !ok {
+		t.Fatalf("empty hypergraph: ok=%v err=%v", ok, err)
+	}
+	if _, err := NewHWProgram(hypergraph.New(), 0); err == nil {
+		t.Fatalf("k=0 accepted")
+	}
+}

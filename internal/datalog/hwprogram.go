@@ -1,0 +1,233 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+// The Appendix B program. Identifiers: each k-vertex (non-empty set of at
+// most k edges) and each [R]-component gets a constant; "root" and "varQ"
+// are the special identifiers of the appendix.
+//
+//	k-decomposable(R, CR) :- k-vertex(S), meets-conditions(S, R, CR),
+//	                         not undecomposable(S, CR).
+//	undecomposable(S, CR) :- component(CS, S), subset(CS, CR),
+//	                         not k-decomposable(S, CS).
+const hwRules = `
+kdecomposable(R, CR) :- kvertex(S), meetsconditions(S, R, CR), not undecomposable(S, CR).
+undecomposable(S, CR) :- component(CS, S), subset(CS, CR), not kdecomposable(S, CS).
+`
+
+// HWProgram is the Appendix B reduction for a fixed hypergraph and width.
+type HWProgram struct {
+	H *hypergraph.Hypergraph
+	K int
+
+	Program *Program
+	Model   *Model
+
+	vertices map[string][]int      // k-vertex id -> edge list
+	comps    map[string]bitset.Set // component id -> vertex set
+	children map[string][]string   // k-vertex id -> its component ids
+}
+
+// NewHWProgram enumerates the base relations of Appendix B for hypergraph h
+// and width bound k, which is polynomial for fixed k (O(m^k) k-vertices).
+func NewHWProgram(h *hypergraph.Hypergraph, k int) (*HWProgram, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("datalog: width bound must be ≥ 1")
+	}
+	p, err := Parse(hwRules)
+	if err != nil {
+		return nil, err
+	}
+	hp := &HWProgram{
+		H: h, K: k, Program: p,
+		vertices: map[string][]int{},
+		comps:    map[string]bitset.Set{},
+		children: map[string][]string{},
+	}
+
+	// enumerate k-vertices
+	m := h.NumEdges()
+	var all [][]int
+	var rec func(from int, cur []int)
+	rec = func(from int, cur []int) {
+		if len(cur) > 0 {
+			all = append(all, append([]int(nil), cur...))
+		}
+		if len(cur) == k {
+			return
+		}
+		for e := from; e < m; e++ {
+			rec(e+1, append(cur, e))
+		}
+	}
+	rec(0, nil)
+
+	compID := func(s bitset.Set) string { return "c" + keyToHex(s.Key()) }
+	for _, edges := range all {
+		id := vertexID(edges)
+		hp.vertices[id] = edges
+		p.AddFact("kvertex", id)
+		varS := h.VarsOfList(edges)
+		for _, c := range h.ComponentsAvoiding(varS) {
+			if len(c.Edges) == 0 {
+				continue
+			}
+			cid := compID(c.Vertices)
+			hp.comps[cid] = c.Vertices
+			hp.children[id] = append(hp.children[id], cid)
+			p.AddFact("component", cid, id)
+		}
+	}
+	p.AddFact("component", "varQ", "root")
+	hp.comps["varQ"] = h.AllVertices()
+
+	// meets-conditions(S, R, CR): var(S) ∩ CR ≠ ∅ and
+	// ∀P ∈ atoms(CR): var(P) ∩ var(R) ⊆ var(S);
+	// plus meets-conditions(S, root, varQ) for every k-vertex S.
+	for sid, sEdges := range hp.vertices {
+		varS := h.VarsOfList(sEdges)
+		if !varS.Empty() {
+			p.AddFact("meetsconditions", sid, "root", "varQ")
+		}
+		for rid, rEdges := range hp.vertices {
+			varR := h.VarsOfList(rEdges)
+			for _, cid := range hp.children[rid] {
+				cr := hp.comps[cid]
+				if !varS.Intersects(cr) {
+					continue
+				}
+				if !hp.frontierOf(cr, varR).SubsetOf(varS) {
+					continue
+				}
+				p.AddFact("meetsconditions", sid, rid, cid)
+			}
+		}
+	}
+
+	// subset(CS, CR): strict inclusion between component identifiers
+	// (including CR = varQ).
+	ids := make([]string, 0, len(hp.comps))
+	for id := range hp.comps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, cs := range ids {
+		for _, cr := range ids {
+			if cs == cr {
+				continue
+			}
+			if hp.comps[cs].SubsetOf(hp.comps[cr]) && !hp.comps[cr].SubsetOf(hp.comps[cs]) {
+				p.AddFact("subset", cs, cr)
+			}
+		}
+	}
+	return hp, nil
+}
+
+func (hp *HWProgram) frontierOf(comp, sep bitset.Set) bitset.Set {
+	var f bitset.Set
+	for e := 0; e < hp.H.NumEdges(); e++ {
+		if hp.H.Edge(e).Intersects(comp) {
+			f.UnionInPlace(hp.H.Edge(e).Intersect(sep))
+		}
+	}
+	return f
+}
+
+// Decide computes the well-founded model and reports whether
+// k-decomposable(root, varQ) is true, i.e. hw(H) ≤ k (Appendix B). The
+// model is cached for Extract.
+func (hp *HWProgram) Decide() (bool, error) {
+	if hp.H.NumEdges() == 0 {
+		return true, nil
+	}
+	if hp.Model == nil {
+		m, err := hp.Program.WellFounded()
+		if err != nil {
+			return false, err
+		}
+		if !m.Total() {
+			return false, fmt.Errorf("datalog: well-founded model not total (program should be weakly stratified)")
+		}
+		hp.Model = m
+	}
+	return hp.Model.True.Has(Atom{Pred: "kdecomposable", Args: []string{"root", "varQ"}}), nil
+}
+
+// Extract builds a hypertree decomposition from the model by the top-down
+// procedure of Appendix B: at each step pick a k-vertex S with
+// meets-conditions(S, R, CR) and not undecomposable(S, CR), then recurse on
+// the [S]-components inside CR.
+func (hp *HWProgram) Extract() (*decomp.Decomposition, error) {
+	ok, err := hp.Decide()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("datalog: hw(H) > %d, nothing to extract", hp.K)
+	}
+	if hp.H.NumEdges() == 0 {
+		return &decomp.Decomposition{H: hp.H}, nil
+	}
+	root, err := hp.extract("root", "varQ", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &decomp.Decomposition{H: hp.H, Root: root}, nil
+}
+
+func (hp *HWProgram) extract(rid, cid string, parentChi, compVerts bitset.Set) (*decomp.Node, error) {
+	if compVerts == nil {
+		compVerts = hp.comps[cid]
+	}
+	for sid := range hp.vertices {
+		if !hp.Model.True.Has(Atom{Pred: "meetsconditions", Args: []string{sid, rid, cid}}) {
+			continue
+		}
+		if hp.Model.True.Has(Atom{Pred: "undecomposable", Args: []string{sid, cid}}) {
+			continue
+		}
+		edges := hp.vertices[sid]
+		lambda := bitset.FromSlice(edges)
+		varS := hp.H.Vars(lambda)
+		chi := varS.Intersect(parentChi.Union(compVerts))
+		node := &decomp.Node{Chi: chi, Lambda: lambda}
+		for _, childID := range hp.children[sid] {
+			cv := hp.comps[childID]
+			if !cv.SubsetOf(compVerts) {
+				continue
+			}
+			child, err := hp.extract(sid, childID, chi, cv)
+			if err != nil {
+				return nil, err
+			}
+			node.Children = append(node.Children, child)
+		}
+		return node, nil
+	}
+	return nil, fmt.Errorf("datalog: no decomposable k-vertex for (%s, %s)", rid, cid)
+}
+
+func vertexID(edges []int) string {
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = fmt.Sprint(e)
+	}
+	return "s" + strings.Join(parts, "_")
+}
+
+func keyToHex(key string) string {
+	var b strings.Builder
+	for i := 0; i < len(key); i++ {
+		fmt.Fprintf(&b, "%02x", key[i])
+	}
+	return b.String()
+}

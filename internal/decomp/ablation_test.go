@@ -1,0 +1,70 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The ablation switches must not change any decision, only the work done.
+func TestAblationSwitchesPreserveDecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		h := randomHG(rng, 2+rng.Intn(7), 1+rng.Intn(6), 1+rng.Intn(4))
+		for k := 1; k <= 3; k++ {
+			base := NewDecider(h, k)
+			want := base.Decide()
+
+			noMemo := NewDecider(h, k)
+			noMemo.DisableMemo = true
+			if got := noMemo.Decide(); got != want {
+				t.Fatalf("trial %d k=%d: DisableMemo changed the decision\n%s", trial, k, h)
+			}
+
+			fullKey := NewDecider(h, k)
+			fullKey.FullSeparatorKey = true
+			if got := fullKey.Decide(); got != want {
+				t.Fatalf("trial %d k=%d: FullSeparatorKey changed the decision\n%s", trial, k, h)
+			}
+			if want {
+				d := fullKey.Decompose()
+				if d == nil {
+					t.Fatalf("trial %d k=%d: FullSeparatorKey Decompose failed", trial, k)
+				}
+				if err := d.Validate(); err != nil {
+					t.Fatalf("trial %d k=%d: %v", trial, k, err)
+				}
+				d2 := func() *Decomposition {
+					nm := NewDecider(h, k)
+					nm.DisableMemo = true
+					return nm.Decompose()
+				}()
+				if d2 == nil {
+					t.Fatalf("trial %d k=%d: DisableMemo Decompose failed", trial, k)
+				}
+				if err := d2.Validate(); err != nil {
+					t.Fatalf("trial %d k=%d: %v", trial, k, err)
+				}
+			}
+		}
+	}
+}
+
+// Memoisation must never do more subproblem work than the ablated variants.
+func TestAblationWorkOrdering(t *testing.T) {
+	h := hg(`r1(A,B), r2(B,C), r3(C,D), r4(D,E), r5(E,A), r6(A,C), r7(B,D)`)
+	run := func(cfg func(*Decider)) int {
+		d := NewDecider(h, 2)
+		cfg(d)
+		d.Decide()
+		return d.Calls
+	}
+	base := run(func(*Decider) {})
+	noMemo := run(func(d *Decider) { d.DisableMemo = true })
+	fullKey := run(func(d *Decider) { d.FullSeparatorKey = true })
+	if base > noMemo {
+		t.Errorf("memoised search did more work (%d) than memo-free (%d)", base, noMemo)
+	}
+	if base > fullKey {
+		t.Errorf("frontier key did more work (%d) than full-separator key (%d)", base, fullKey)
+	}
+}

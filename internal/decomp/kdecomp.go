@@ -1,0 +1,248 @@
+package decomp
+
+import (
+	"fmt"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/hypergraph"
+)
+
+// The deterministic realisation of the alternating algorithm k-decomp
+// (Figure 10). A call decide(C, frontier) answers the paper's
+// k-decomposable(C, R), where frontier = var(atoms(C)) ∩ var(R): the only
+// part of the parent separator R that the conditions depend on, which makes
+// (C, frontier) a sound memoisation key.
+//
+// Step 1 guesses S ⊆ edges, 1 ≤ |S| ≤ k, restricted to edges meeting
+// C ∪ frontier (other edges influence neither the conditions nor the
+// component split). Step 2 checks
+//
+//	(2a) ∀P ∈ atoms(C): var(P) ∩ var(R) ⊆ var(S)  ⟺  frontier ⊆ var(S)
+//	(2b) var(S) ∩ C ≠ ∅
+//
+// and Step 4 recurses on every [var(S)]-component contained in C (by (2a)
+// every component intersecting C is contained in C). Recursion terminates
+// because (2b) forces child components to be proper subsets.
+
+// Decider runs the k-decomp decision and construction procedure for a fixed
+// hypergraph and width bound.
+type Decider struct {
+	H *hypergraph.Hypergraph
+	K int
+
+	// Ablation switches (used by the BenchmarkAblation* experiments to
+	// quantify the two design choices documented in DESIGN.md §4; leave
+	// both false for the real algorithm).
+	//
+	// DisableMemo turns off subproblem memoisation: the search remains
+	// correct (the recursion is finite) but revisits shared components.
+	DisableMemo bool
+	// FullSeparatorKey keys the memo on the entire parent separator var(R)
+	// instead of the frontier var(atoms(C)) ∩ var(R). Still sound, but two
+	// parents with equal frontiers no longer share their result.
+	FullSeparatorKey bool
+
+	memo map[string]*memoEntry
+	stop func() bool // optional cooperative cancellation; nil = never
+
+	// Stats, maintained during Decide/Decompose.
+	Calls    int // distinct (component, frontier) subproblems solved
+	MemoHits int
+	GuessOps int // candidate sets S tested
+}
+
+type memoEntry struct {
+	ok     bool
+	lambda []int // chosen S on success
+}
+
+// NewDecider returns a Decider for width bound k ≥ 1.
+func NewDecider(h *hypergraph.Hypergraph, k int) *Decider {
+	if k < 1 {
+		panic("decomp: width bound must be ≥ 1")
+	}
+	return &Decider{H: h, K: k, memo: map[string]*memoEntry{}}
+}
+
+func (d *Decider) stopped() bool { return d.stop != nil && d.stop() }
+
+func (d *Decider) rootComponent() hypergraph.Component {
+	return hypergraph.Component{
+		Vertices: d.H.AllVertices(),
+		Edges:    d.H.AllEdges().Elems(),
+	}
+}
+
+// Decide reports whether hw(H) ≤ K (Theorem 5.14: k-decomp accepts iff
+// hw(Q) ≤ k).
+func (d *Decider) Decide() bool {
+	if d.H.NumEdges() == 0 {
+		return true
+	}
+	return d.decide(d.rootComponent(), nil, nil)
+}
+
+// Decompose returns a width-≤K hypertree decomposition in normal form, or
+// nil if hw(H) > K. The result always passes Validate and CheckNormalForm.
+func (d *Decider) Decompose() *Decomposition {
+	if d.H.NumEdges() == 0 {
+		return &Decomposition{H: d.H}
+	}
+	if !d.Decide() {
+		return nil
+	}
+	return &Decomposition{H: d.H, Root: d.build(d.rootComponent(), nil, nil, nil)}
+}
+
+func memoKey(c hypergraph.Component, keySet bitset.Set) string {
+	return c.Vertices.Key() + "|" + keySet.Key()
+}
+
+// decide answers k-decomposable(C, R). The Step-2 conditions depend on R
+// only through the frontier; keySet is what the memo is keyed on (the
+// frontier normally, the full var(R) under the FullSeparatorKey ablation —
+// nil makes it default to the frontier).
+func (d *Decider) decide(c hypergraph.Component, frontier, keySet bitset.Set) bool {
+	if len(c.Edges) == 0 {
+		// isolated vertices: nothing to cover (possible only in hand-built
+		// hypergraphs; queries never produce edge-free components)
+		return true
+	}
+	if keySet == nil {
+		keySet = frontier
+	}
+	key := memoKey(c, keySet)
+	if !d.DisableMemo {
+		if e, ok := d.memo[key]; ok {
+			d.MemoHits++
+			return e.ok
+		}
+	}
+	d.Calls++
+	ok, lambda := d.searchLambda(c, frontier)
+	if d.stopped() {
+		return false // cancelled mid-search: result unreliable, do not memoise
+	}
+	// Always record the entry: Decompose reconstructs the witness from it
+	// even when reads are disabled for the ablation.
+	d.memo[key] = &memoEntry{ok: ok, lambda: lambda}
+	return ok
+}
+
+func (d *Decider) searchLambda(c hypergraph.Component, frontier bitset.Set) (bool, []int) {
+	cands := d.candidates(c, frontier)
+	var found []int
+	ok := d.search(c, frontier, cands, 0, nil, make([]int, 0, d.K), &found)
+	return ok, found
+}
+
+// candidates returns the edges that can usefully appear in S: those meeting
+// C ∪ frontier.
+func (d *Decider) candidates(c hypergraph.Component, frontier bitset.Set) []int {
+	region := c.Vertices.Union(frontier)
+	var out []int
+	for e := 0; e < d.H.NumEdges(); e++ {
+		if d.H.Edge(e).Intersects(region) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// search enumerates subsets of cands of size ≤ K with indices increasing
+// from from; varS is the union of vertex sets of chosen. On finding a valid
+// S whose components all decompose, the chosen edges are copied to *found.
+func (d *Decider) search(c hypergraph.Component, frontier bitset.Set, cands []int, from int, varS bitset.Set, chosen []int, found *[]int) bool {
+	if d.stopped() {
+		return false
+	}
+	if len(chosen) > 0 {
+		d.GuessOps++
+		if frontier.SubsetOf(varS) && varS.Intersects(c.Vertices) && d.checkChildren(c, varS) {
+			*found = append([]int(nil), chosen...)
+			return true
+		}
+	}
+	if len(chosen) == d.K {
+		return false
+	}
+	for i := from; i < len(cands); i++ {
+		e := cands[i]
+		if d.search(c, frontier, cands, i+1, varS.Union(d.H.Edge(e)), append(chosen, e), found) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkChildren verifies Step 4: every [var(S)]-component inside C must be
+// k-decomposable with S as the new parent separator.
+func (d *Decider) checkChildren(c hypergraph.Component, varS bitset.Set) bool {
+	for _, child := range d.H.ComponentsWithin(varS, c.Vertices) {
+		var keySet bitset.Set
+		if d.FullSeparatorKey {
+			keySet = varS
+		}
+		if !d.decide(child, d.H.Frontier(child, varS), keySet) {
+			return false
+		}
+	}
+	return true
+}
+
+// build reconstructs the witness tree (Section 5.2) from the memo: the node
+// for (C, frontier) gets λ = S and χ = var(λ(s)) ∩ (χ(parent) ∪ C), the
+// paper's q-labelling of witness trees (which yields normal form,
+// Lemma 5.13). The decision only depends on the frontier, so memo entries
+// are reusable under any parent with the same frontier; the χ labels are
+// specialised here to the actual parent.
+func (d *Decider) build(c hypergraph.Component, frontier, keySet, parentChi bitset.Set) *Node {
+	if keySet == nil {
+		keySet = frontier
+	}
+	entry := d.memo[memoKey(c, keySet)]
+	if entry == nil || !entry.ok {
+		panic("decomp: build called on undecided component")
+	}
+	lambda := bitset.FromSlice(entry.lambda)
+	varS := d.H.Vars(lambda)
+	chi := varS.Intersect(parentChi.Union(c.Vertices))
+	n := &Node{Chi: chi, Lambda: lambda}
+	for _, child := range d.H.ComponentsWithin(varS, c.Vertices) {
+		if len(child.Edges) == 0 {
+			continue
+		}
+		var childKey bitset.Set
+		if d.FullSeparatorKey {
+			childKey = varS
+		}
+		n.Children = append(n.Children, d.build(child, d.H.Frontier(child, varS), childKey, chi))
+	}
+	return n
+}
+
+// Decide reports whether hw(H) ≤ k.
+func Decide(h *hypergraph.Hypergraph, k int) bool {
+	return NewDecider(h, k).Decide()
+}
+
+// Decompose returns a width-≤k NF hypertree decomposition or nil.
+func Decompose(h *hypergraph.Hypergraph, k int) *Decomposition {
+	return NewDecider(h, k).Decompose()
+}
+
+// Width computes hw(H) exactly by increasing k, together with an optimal
+// decomposition. For the empty hypergraph it returns (0, empty).
+func Width(h *hypergraph.Hypergraph) (int, *Decomposition) {
+	if h.NumEdges() == 0 {
+		return 0, &Decomposition{H: h}
+	}
+	for k := 1; ; k++ {
+		if dec := Decompose(h, k); dec != nil {
+			return k, dec
+		}
+		if k > h.NumEdges() {
+			panic(fmt.Sprintf("decomp: width search exceeded edge count %d", h.NumEdges()))
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/bitset"
+)
+
+// Tests of the Section 5.1 normal-form lemmas, run against the NF
+// decompositions our search produces. These are the structural facts the
+// polynomial algorithm rests on; checking them on concrete outputs is a
+// machine-checkable shadow of the proofs.
+
+// treecomp computes treecomp(s) for every node of an NF decomposition
+// (definition after Theorem 5.4): var(Q) at the root; otherwise the unique
+// [χ(r)]-component C with χ(T_s) = C ∪ (χ(s) ∩ χ(r)).
+func treecomps(t *testing.T, d *Decomposition) map[*Node]bitset.Set {
+	t.Helper()
+	h := d.H
+	out := map[*Node]bitset.Set{d.Root: h.AllVertices()}
+	var visit func(r *Node)
+	visit = func(r *Node) {
+		comps := h.ComponentsAvoiding(r.Chi)
+		for _, s := range r.Children {
+			chiTs := chiSubtree(s)
+			var match bitset.Set
+			for _, c := range comps {
+				if chiTs.Equal(c.Vertices.Union(s.Chi.Intersect(r.Chi))) {
+					match = c.Vertices
+					break
+				}
+			}
+			if match == nil {
+				t.Fatalf("treecomp: no matching component (decomposition not NF?)")
+			}
+			out[s] = match
+			visit(s)
+		}
+	}
+	visit(d.Root)
+	return out
+}
+
+func nfCorpus(t *testing.T) []*Decomposition {
+	t.Helper()
+	var ds []*Decomposition
+	for _, src := range []string{q1, q3, q4, q5,
+		`r(X,Y), s(Y,Z), t(Z,X)`,
+		`e1(A,B), e2(B,C), e3(C,D), e4(D,A), e5(A,C)`,
+	} {
+		_, d := Width(hg(src))
+		if err := d.CheckNormalForm(); err != nil {
+			t.Fatalf("%q: corpus decomposition not NF: %v", src, err)
+		}
+		ds = append(ds, d)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		h := randomHG(rng, 2+rng.Intn(6), 1+rng.Intn(5), 1+rng.Intn(3))
+		_, d := Width(h)
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// Lemma 5.5: for any vertex v of an NF decomposition with
+// W = treecomp(v) − χ(v), the [v]-components intersecting W are contained in
+// W, and the [v]-components inside treecomp(v) partition W.
+func TestLemma55ComponentPartition(t *testing.T) {
+	for _, d := range nfCorpus(t) {
+		if d.Root == nil {
+			continue
+		}
+		tc := treecomps(t, d)
+		for node, comp := range tc {
+			w := comp.Diff(node.Chi)
+			var union bitset.Set
+			for _, c := range d.H.ComponentsAvoiding(node.Chi) {
+				if !c.Vertices.Intersects(w) {
+					continue
+				}
+				if !c.Vertices.SubsetOf(w) {
+					t.Fatalf("Lemma 5.5 violated: component %v ⊄ W=%v",
+						d.H.VertexNames(c.Vertices), d.H.VertexNames(w))
+				}
+				if c.Vertices.Intersects(union) {
+					t.Fatalf("Lemma 5.5: components overlap")
+				}
+				union.UnionInPlace(c.Vertices)
+			}
+			// vertices of W that sit in no edge can be missing from every
+			// component; query-derived hypergraphs have none.
+			w.ForEach(func(v int) {
+				if len(d.H.EdgesOf(v)) > 0 && !union.Has(v) {
+					t.Fatalf("Lemma 5.5: vertex %s of W in no component", d.H.VertexName(v))
+				}
+			})
+		}
+	}
+}
+
+// Lemma 5.6: C = treecomp(s) for some child s of r iff C is an
+// [r]-component with C ⊆ treecomp(r).
+func TestLemma56ChildrenAreExactlyInnerComponents(t *testing.T) {
+	for _, d := range nfCorpus(t) {
+		if d.Root == nil {
+			continue
+		}
+		tc := treecomps(t, d)
+		var visit func(r *Node)
+		visit = func(r *Node) {
+			childComps := map[string]bool{}
+			for _, s := range r.Children {
+				childComps[tc[s].Key()] = true
+				visit(s)
+			}
+			for _, c := range d.H.ComponentsAvoiding(r.Chi) {
+				if len(c.Edges) == 0 {
+					continue
+				}
+				inside := c.Vertices.SubsetOf(tc[r])
+				if inside != childComps[c.Vertices.Key()] {
+					t.Fatalf("Lemma 5.6 violated at node χ=%v: component %v inside=%v hasChild=%v",
+						d.H.VertexNames(r.Chi), d.H.VertexNames(c.Vertices), inside, childComps[c.Vertices.Key()])
+				}
+			}
+		}
+		visit(d.Root)
+	}
+}
+
+// Lemma 5.7: an NF decomposition has at most |var(Q)| nodes.
+func TestLemma57Bound(t *testing.T) {
+	for _, d := range nfCorpus(t) {
+		if d.NumNodes() > d.H.NumVertices() {
+			t.Fatalf("Lemma 5.7 violated: %d nodes > %d vars", d.NumNodes(), d.H.NumVertices())
+		}
+	}
+}
+
+// Lemma 5.8: for any node s and C ⊆ treecomp(s), C is an [s]-component iff
+// C is a [var(λ(s))]-component.
+func TestLemma58ComponentEquivalence(t *testing.T) {
+	for _, d := range nfCorpus(t) {
+		if d.Root == nil {
+			continue
+		}
+		tc := treecomps(t, d)
+		for node, comp := range tc {
+			byChi := map[string]bool{}
+			for _, c := range d.H.ComponentsAvoiding(node.Chi) {
+				if c.Vertices.SubsetOf(comp) {
+					byChi[c.Vertices.Key()] = true
+				}
+			}
+			byLambda := map[string]bool{}
+			for _, c := range d.H.ComponentsAvoiding(d.H.Vars(node.Lambda)) {
+				if c.Vertices.SubsetOf(comp) {
+					byLambda[c.Vertices.Key()] = true
+				}
+			}
+			if len(byChi) != len(byLambda) {
+				t.Fatalf("Lemma 5.8 violated: %d [s]-components vs %d [var(λ)]-components",
+					len(byChi), len(byLambda))
+			}
+			for k := range byChi {
+				if !byLambda[k] {
+					t.Fatalf("Lemma 5.8 violated: component sets differ")
+				}
+			}
+		}
+	}
+}
+
+// Lemma 5.2 (flavor): for a valid decomposition, any [χ(r)]-component whose
+// variables appear in a child subtree is confined to that subtree.
+func TestLemma52ComponentConfinement(t *testing.T) {
+	for _, d := range nfCorpus(t) {
+		if d.Root == nil {
+			continue
+		}
+		var visit func(r *Node)
+		visit = func(r *Node) {
+			comps := d.H.ComponentsAvoiding(r.Chi)
+			subtrees := make([]bitset.Set, len(r.Children))
+			for i, s := range r.Children {
+				subtrees[i] = chiSubtree(s)
+			}
+			for _, c := range comps {
+				seen := -1
+				for i := range r.Children {
+					if subtrees[i].Intersects(c.Vertices) {
+						if seen >= 0 {
+							t.Fatalf("Lemma 5.2 violated: component in two subtrees")
+						}
+						seen = i
+					}
+				}
+			}
+			for _, s := range r.Children {
+				visit(s)
+			}
+		}
+		visit(d.Root)
+	}
+}

@@ -1,0 +1,118 @@
+package decomp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/hypergraph"
+)
+
+// Parallel search. The alternating algorithm's existential branching at the
+// root (the guess of λ(root)) is distributed over worker goroutines: each
+// worker evaluates complete root candidates with its own private memo table
+// and the first success cancels the rest. This is the practical counterpart
+// of the paper's LOGCFL parallelizability statement (Section 2.2, result 6);
+// the speedup factor is hardware-dependent and not a number from the paper.
+
+// ParallelDecide reports whether hw(H) ≤ k using the given number of worker
+// goroutines (≤ 0 selects GOMAXPROCS).
+func ParallelDecide(h *hypergraph.Hypergraph, k int, workers int) bool {
+	dec, _ := parallelSearch(h, k, workers)
+	return dec
+}
+
+// ParallelDecompose returns a width-≤k NF hypertree decomposition computed
+// with the given number of workers, or nil if hw(H) > k.
+func ParallelDecompose(h *hypergraph.Hypergraph, k int, workers int) *Decomposition {
+	ok, d := parallelSearch(h, k, workers)
+	if !ok {
+		return nil
+	}
+	return d
+}
+
+func parallelSearch(h *hypergraph.Hypergraph, k int, workers int) (bool, *Decomposition) {
+	if k < 1 {
+		panic("decomp: width bound must be ≥ 1")
+	}
+	if h.NumEdges() == 0 {
+		return true, &Decomposition{H: h}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	all := h.AllVertices()
+	rootComp := hypergraph.Component{Vertices: all, Edges: h.AllEdges().Elems()}
+
+	tasks := make(chan []int)
+	var stop atomic.Bool
+	type result struct {
+		dec    *Decider
+		lambda []int
+	}
+	var winner atomic.Pointer[result]
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := NewDecider(h, k)
+			d.stop = stop.Load
+			for lambda := range tasks {
+				if stop.Load() {
+					continue // drain
+				}
+				varS := h.VarsOfList(lambda)
+				if d.checkChildren(rootComp, varS) && !stop.Load() {
+					r := &result{dec: d, lambda: append([]int(nil), lambda...)}
+					if winner.CompareAndSwap(nil, r) {
+						stop.Store(true)
+					}
+				}
+			}
+		}()
+	}
+
+	// Generate root candidates: all non-empty subsets of edges of size ≤ k.
+	// (At the root the frontier is empty and C = var(H), so the only Step-2
+	// requirement is a non-empty S.)
+	m := h.NumEdges()
+	var gen func(from int, chosen []int)
+	gen = func(from int, chosen []int) {
+		if stop.Load() {
+			return
+		}
+		if len(chosen) > 0 {
+			tasks <- append([]int(nil), chosen...)
+		}
+		if len(chosen) == k {
+			return
+		}
+		for e := from; e < m; e++ {
+			gen(e+1, append(chosen, e))
+		}
+	}
+	gen(0, make([]int, 0, k))
+	close(tasks)
+	wg.Wait()
+
+	r := winner.Load()
+	if r == nil {
+		return false, nil
+	}
+	// Build the decomposition from the winning worker's memo.
+	lambda := bitset.FromSlice(r.lambda)
+	varS := h.Vars(lambda)
+	root := &Node{Chi: varS.Intersect(all), Lambda: lambda}
+	for _, child := range h.ComponentsWithin(varS, all) {
+		if len(child.Edges) == 0 {
+			continue
+		}
+		root.Children = append(root.Children, r.dec.build(child, h.Frontier(child, varS), nil, root.Chi))
+	}
+	return true, &Decomposition{H: h, Root: root}
+}

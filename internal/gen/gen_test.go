@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/cq"
+	"hypertree/internal/decomp"
+	"hypertree/internal/jointree"
+)
+
+func TestPaperQueries(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		q       *cq.Query
+		atoms   int
+		acyclic bool
+		hw      int
+	}{
+		{"Q1", Q1(), 3, false, 2},
+		{"Q2", Q2(), 3, true, 1},
+		{"Q3", Q3(), 6, true, 1},
+		{"Q4", Q4(), 5, false, 2},
+		{"Q5", Q5(), 9, false, 2},
+	} {
+		if len(tc.q.Atoms) != tc.atoms {
+			t.Errorf("%s: %d atoms, want %d", tc.name, len(tc.q.Atoms), tc.atoms)
+		}
+		h, _ := tc.q.Hypergraph()
+		if got := jointree.IsAcyclic(h); got != tc.acyclic {
+			t.Errorf("%s: acyclic = %v, want %v", tc.name, got, tc.acyclic)
+		}
+		w, _ := decomp.Width(h)
+		if w != tc.hw {
+			t.Errorf("%s: hw = %d, want %d", tc.name, w, tc.hw)
+		}
+	}
+}
+
+func TestClassCn(t *testing.T) {
+	for _, n := range []int{1, 3, 5} {
+		q := ClassCn(n)
+		if len(q.Atoms) != n {
+			t.Fatalf("C_%d should have %d atoms", n, n)
+		}
+		if q.NumVars() != 2*n {
+			t.Fatalf("C_%d should have 2n variables, got %d", n, q.NumVars())
+		}
+		h, _ := q.Hypergraph()
+		if !jointree.IsAcyclic(h) {
+			t.Fatalf("C_%d must be acyclic (qw = 1)", n)
+		}
+		if !decomp.Decide(h, 1) {
+			t.Fatalf("hw(C_%d) must be 1", n)
+		}
+	}
+}
+
+func TestParametricFamilies(t *testing.T) {
+	// Cycle(n): cyclic with hw 2 for n ≥ 3
+	for _, n := range []int{3, 5, 8} {
+		h, _ := Cycle(n).Hypergraph()
+		if jointree.IsAcyclic(h) {
+			t.Fatalf("Cycle(%d) must be cyclic", n)
+		}
+		w, _ := decomp.Width(h)
+		if w != 2 {
+			t.Fatalf("hw(Cycle(%d)) = %d, want 2", n, w)
+		}
+	}
+	// Path and Star: acyclic
+	for _, n := range []int{1, 4, 9} {
+		hp, _ := Path(n).Hypergraph()
+		hs, _ := Star(n).Hypergraph()
+		if !jointree.IsAcyclic(hp) || !jointree.IsAcyclic(hs) {
+			t.Fatalf("Path/Star(%d) must be acyclic", n)
+		}
+	}
+	// Grid(2, n): hw 2; the 4×4 grid needs width 3
+	h, _ := Grid(2, 4).Hypergraph()
+	w, _ := decomp.Width(h)
+	if w != 2 {
+		t.Fatalf("hw(Grid(2,4)) = %d, want 2", w)
+	}
+	h44, _ := Grid(4, 4).Hypergraph()
+	if w44, _ := decomp.Width(h44); w44 != 3 {
+		t.Fatalf("hw(Grid(4,4)) = %d, want 3", w44)
+	}
+	// Grid shapes
+	if g := Grid(3, 3); len(g.Atoms) != 12 {
+		t.Fatalf("Grid(3,3) has %d atoms, want 12", len(g.Atoms))
+	}
+	// CliqueBinary
+	if q := CliqueBinary(4); len(q.Atoms) != 6 || q.NumVars() != 4 {
+		t.Fatalf("CliqueBinary(4) wrong shape")
+	}
+}
+
+func TestRandomQueryAndDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := RandomQuery(rng, 5, 7, 3)
+	if len(q.Atoms) != 7 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+	db := RandomDatabase(rng, q, 10, 4)
+	for _, a := range q.Atoms {
+		r := db.Relation(a.Pred)
+		if r == nil {
+			t.Fatalf("relation %s missing", a.Pred)
+		}
+		if r.Rows() == 0 || r.Rows() > 10 {
+			t.Fatalf("relation %s has %d rows", a.Pred, r.Rows())
+		}
+	}
+}
+
+func TestSkewedDatabase(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := Cycle(3)
+	db := SkewedDatabase(rng, q, 200, 50, 1.5)
+	// the hottest value must be clearly over-represented vs uniform
+	r := db.Relation("r1")
+	counts := map[string]int{}
+	for i := 0; i < r.Rows(); i++ {
+		counts[db.ValueName(r.Row(i)[0])]++
+	}
+	if counts["d0"] <= 200/50 {
+		t.Fatalf("skew not visible: d0 occurs %d times", counts["d0"])
+	}
+}
+
+func TestUniversityDatabase(t *testing.T) {
+	db := UniversityDatabase(50, true)
+	for _, rel := range []string{"enrolled", "teaches", "parent"} {
+		if db.Relation(rel) == nil || db.Relation(rel).Rows() == 0 {
+			t.Fatalf("relation %s empty", rel)
+		}
+	}
+}

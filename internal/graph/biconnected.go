@@ -1,0 +1,116 @@
+package graph
+
+import "hypertree/internal/bitset"
+
+// BiconnectedComponents returns the biconnected components of g as edge sets
+// (each component is a list of [2]int edges), together with the articulation
+// points. Isolated vertices contribute no component. The algorithm is the
+// classical Hopcroft–Tarjan DFS with an explicit stack.
+func (g *Graph) BiconnectedComponents() (comps [][][2]int, cutVertices []int) {
+	n := g.N()
+	num := make([]int, n) // DFS numbers, 0 = unvisited
+	low := make([]int, n)
+	parent := make([]int, n)
+	isCut := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	counter := 0
+	var edgeStack [][2]int
+
+	type frame struct {
+		v    int
+		iter []int // remaining neighbors
+	}
+
+	for root := 0; root < n; root++ {
+		if num[root] != 0 {
+			continue
+		}
+		counter++
+		num[root] = counter
+		low[root] = counter
+		stack := []frame{{v: root, iter: g.adj[root].Elems()}}
+		rootKids := 0
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if len(f.iter) > 0 {
+				w := f.iter[0]
+				f.iter = f.iter[1:]
+				if num[w] == 0 {
+					edgeStack = append(edgeStack, [2]int{f.v, w})
+					parent[w] = f.v
+					counter++
+					num[w] = counter
+					low[w] = counter
+					if f.v == root {
+						rootKids++
+					}
+					stack = append(stack, frame{v: w, iter: g.adj[w].Elems()})
+				} else if w != parent[f.v] && num[w] < num[f.v] {
+					edgeStack = append(edgeStack, [2]int{f.v, w})
+					if num[w] < low[f.v] {
+						low[f.v] = num[w]
+					}
+				}
+				continue
+			}
+			// Done with v: propagate low to the parent and emit a component
+			// when v's subtree cannot reach above its parent.
+			stack = stack[:len(stack)-1]
+			v := f.v
+			if len(stack) == 0 {
+				continue
+			}
+			p := stack[len(stack)-1].v
+			if low[v] < low[p] {
+				low[p] = low[v]
+			}
+			if low[v] >= num[p] {
+				var comp [][2]int
+				for len(edgeStack) > 0 {
+					e := edgeStack[len(edgeStack)-1]
+					edgeStack = edgeStack[:len(edgeStack)-1]
+					comp = append(comp, e)
+					if e[0] == p && e[1] == v {
+						break
+					}
+				}
+				if len(comp) > 0 {
+					comps = append(comps, comp)
+				}
+				if p != root {
+					isCut[p] = true
+				}
+			}
+		}
+		if rootKids >= 2 {
+			isCut[root] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		if isCut[v] {
+			cutVertices = append(cutVertices, v)
+		}
+	}
+	return comps, cutVertices
+}
+
+// MaxBiconnectedSize returns the number of vertices in the largest
+// biconnected component of g (0 if g has no edges). This is Freuder's width
+// measure for the biconnected-components CSP decomposition method.
+func (g *Graph) MaxBiconnectedSize() int {
+	comps, _ := g.BiconnectedComponents()
+	maxSize := 0
+	for _, comp := range comps {
+		var verts bitset.Set
+		for _, e := range comp {
+			verts.Add(e[0])
+			verts.Add(e[1])
+		}
+		if l := verts.Len(); l > maxSize {
+			maxSize = l
+		}
+	}
+	return maxSize
+}

@@ -1,0 +1,59 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringRendering(t *testing.T) {
+	h := New()
+	h.AddEdge("r", "X", "Y")
+	h.AddEdge("s", "Y")
+	s := h.String()
+	if !strings.Contains(s, "r(X,Y)") || !strings.Contains(s, "s(Y)") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEdgeAndVertexNameHelpers(t *testing.T) {
+	h := q5()
+	names := h.EdgeNames(h.AllEdges())
+	if len(names) != 9 || names[0] != "a" {
+		t.Fatalf("EdgeNames = %v", names)
+	}
+	vn := h.VertexNames(h.AllVertices())
+	if len(vn) != 12 {
+		t.Fatalf("VertexNames = %v", vn)
+	}
+	// sorted
+	for i := 1; i < len(vn); i++ {
+		if vn[i-1] > vn[i] {
+			t.Fatalf("VertexNames not sorted: %v", vn)
+		}
+	}
+}
+
+func TestDualGraphOfQ5(t *testing.T) {
+	h := q5()
+	dg := h.DualGraph()
+	if dg.N() != 9 {
+		t.Fatalf("dual graph has %d nodes", dg.N())
+	}
+	// atoms d(X,Z) [3] and e(Y,Z) [4] share Z → adjacent
+	if !dg.HasEdge(3, 4) {
+		t.Fatalf("d and e share Z, must be adjacent in the dual graph")
+	}
+	if dg.HasEdge(0, 7) { // a(S,X,X1,C,F) vs h(Y1,Z1): share Y1? a has X1 not Y1
+		t.Fatalf("a and h share no variable")
+	}
+}
+
+func TestVertexIndexLookup(t *testing.T) {
+	h := q5()
+	if _, ok := h.VertexIndex("S"); !ok {
+		t.Fatalf("S should exist")
+	}
+	if _, ok := h.VertexIndex("NOPE"); ok {
+		t.Fatalf("NOPE should not exist")
+	}
+}

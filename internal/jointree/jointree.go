@@ -1,0 +1,253 @@
+// Package jointree implements acyclicity testing and join-tree construction
+// for hypergraphs (Sections 1.1 and 2.1 of the paper).
+//
+// A join tree JT(Q) is a tree over the atoms of Q such that for every
+// variable X the atoms containing X induce a connected subtree (the
+// Connectedness Condition). A query is acyclic iff it has a join tree
+// [Beeri–Fagin–Maier–Yannakakis, Bernstein–Goodman].
+//
+// Two independent constructions are provided: GYO ear removal and Maier's
+// maximum-weight spanning tree of the intersection graph; they are
+// cross-checked in the tests.
+package jointree
+
+import (
+	"fmt"
+	"strings"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/hypergraph"
+)
+
+// Tree is a rooted join tree whose nodes are the edge indices of a
+// hypergraph. For a disconnected hypergraph the components' trees are linked
+// at their roots, which keeps the connectedness condition intact because the
+// linked parts share no variables.
+type Tree struct {
+	Root     int
+	Parent   []int   // Parent[e] = parent edge of e, -1 for the root
+	Children [][]int // derived from Parent
+}
+
+func newTree(parent []int, root int) *Tree {
+	t := &Tree{Root: root, Parent: parent, Children: make([][]int, len(parent))}
+	for e, p := range parent {
+		if p >= 0 {
+			t.Children[p] = append(t.Children[p], e)
+		}
+	}
+	return t
+}
+
+// PostOrder returns the nodes in post-order (children before parents).
+func (t *Tree) PostOrder() []int {
+	out := make([]int, 0, len(t.Parent))
+	var visit func(int)
+	visit = func(v int) {
+		for _, c := range t.Children[v] {
+			visit(c)
+		}
+		out = append(out, v)
+	}
+	visit(t.Root)
+	return out
+}
+
+// String renders the tree with indentation, one node per line.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var visit func(v, depth int)
+	visit = func(v, depth int) {
+		fmt.Fprintf(&b, "%s%d\n", strings.Repeat("  ", depth), v)
+		for _, c := range t.Children[v] {
+			visit(c, depth+1)
+		}
+	}
+	visit(t.Root, 0)
+	return b.String()
+}
+
+// IsAcyclic reports whether the hypergraph is α-acyclic (GYO reduction).
+func IsAcyclic(h *hypergraph.Hypergraph) bool {
+	_, ok := GYO(h)
+	return ok
+}
+
+// GYO runs the Graham / Yu–Ozsoyoglu ear-removal algorithm. It returns a
+// join tree and true when h is acyclic, or nil and false otherwise.
+//
+// An edge e is an ear with witness f ≠ e when every vertex of e either
+// occurs in no other remaining edge or belongs to f. Removing ears until one
+// edge remains succeeds exactly on acyclic hypergraphs; the witness pointers
+// form the join tree.
+func GYO(h *hypergraph.Hypergraph) (*Tree, bool) {
+	m := h.NumEdges()
+	if m == 0 {
+		return nil, true
+	}
+	alive := make([]bool, m)
+	for i := range alive {
+		alive[i] = true
+	}
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = -1
+	}
+	// occurrence counts among alive edges
+	occ := make([]int, h.NumVertices())
+	for e := 0; e < m; e++ {
+		h.Edge(e).ForEach(func(v int) { occ[v]++ })
+	}
+	remaining := m
+
+	removeEar := func(e, witness int) {
+		alive[e] = false
+		parent[e] = witness
+		h.Edge(e).ForEach(func(v int) { occ[v]-- })
+		remaining--
+	}
+
+	for remaining > 1 {
+		progress := false
+		for e := 0; e < m && remaining > 1; e++ {
+			if !alive[e] {
+				continue
+			}
+			// shared = vertices of e occurring in some other alive edge
+			var shared bitset.Set
+			h.Edge(e).ForEach(func(v int) {
+				if occ[v] > 1 {
+					shared.Add(v)
+				}
+			})
+			if shared.Empty() {
+				// e is isolated among the remaining edges: attach to any
+				// other alive edge (valid: no variables are shared).
+				for f := 0; f < m; f++ {
+					if f != e && alive[f] {
+						removeEar(e, f)
+						progress = true
+						break
+					}
+				}
+				continue
+			}
+			for f := 0; f < m; f++ {
+				if f == e || !alive[f] {
+					continue
+				}
+				if shared.SubsetOf(h.Edge(f)) {
+					removeEar(e, f)
+					progress = true
+					break
+				}
+			}
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	root := -1
+	for e := 0; e < m; e++ {
+		if alive[e] {
+			root = e
+			break
+		}
+	}
+	return newTree(parent, root), true
+}
+
+// MaxWeightSpanningTree builds a spanning tree of the complete graph on
+// edges weighted by |var(e) ∩ var(f)| using Prim's algorithm, rooted at edge
+// 0. By Maier's theorem the hypergraph is acyclic iff some (equivalently,
+// every) maximum-weight spanning tree is a join tree; pair this with
+// Validate for an independent acyclicity test.
+func MaxWeightSpanningTree(h *hypergraph.Hypergraph) *Tree {
+	m := h.NumEdges()
+	if m == 0 {
+		return nil
+	}
+	parent := make([]int, m)
+	best := make([]int, m)
+	inTree := make([]bool, m)
+	for i := range parent {
+		parent[i] = -1
+		best[i] = -1
+	}
+	inTree[0] = true
+	for f := 1; f < m; f++ {
+		best[f] = h.Edge(0).Intersect(h.Edge(f)).Len()
+		parent[f] = 0
+	}
+	for added := 1; added < m; added++ {
+		pick, pickW := -1, -1
+		for f := 0; f < m; f++ {
+			if !inTree[f] && best[f] > pickW {
+				pick, pickW = f, best[f]
+			}
+		}
+		inTree[pick] = true
+		for f := 0; f < m; f++ {
+			if inTree[f] {
+				continue
+			}
+			w := h.Edge(pick).Intersect(h.Edge(f)).Len()
+			if w > best[f] {
+				best[f] = w
+				parent[f] = pick
+			}
+		}
+	}
+	return newTree(parent, 0)
+}
+
+// Validate checks the connectedness condition: for every vertex v, the tree
+// nodes whose edges contain v induce a connected subtree. It returns nil on
+// success and a descriptive error otherwise.
+func Validate(h *hypergraph.Hypergraph, t *Tree) error {
+	if t == nil {
+		if h.NumEdges() == 0 {
+			return nil
+		}
+		return fmt.Errorf("jointree: nil tree for non-empty hypergraph")
+	}
+	if len(t.Parent) != h.NumEdges() {
+		return fmt.Errorf("jointree: tree has %d nodes, hypergraph has %d edges", len(t.Parent), h.NumEdges())
+	}
+	seen := 0
+	for _, p := range t.Parent {
+		if p == -1 {
+			seen++
+		}
+	}
+	if seen != 1 {
+		return fmt.Errorf("jointree: tree must have exactly one root, found %d", seen)
+	}
+	// acyclicity / reachability of the parent structure
+	order := t.PostOrder()
+	if len(order) != len(t.Parent) {
+		return fmt.Errorf("jointree: parent pointers do not form a tree rooted at %d", t.Root)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		nodes := h.EdgesOf(v)
+		if len(nodes) <= 1 {
+			continue
+		}
+		inSet := map[int]bool{}
+		for _, e := range nodes {
+			inSet[e] = true
+		}
+		// Count nodes of the induced forest that have no parent within the
+		// set; connected iff exactly one such local root.
+		roots := 0
+		for _, e := range nodes {
+			if p := t.Parent[e]; p < 0 || !inSet[p] {
+				roots++
+			}
+		}
+		if roots != 1 {
+			return fmt.Errorf("jointree: variable %s violates the connectedness condition (%d local roots)", h.VertexName(v), roots)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package jointree
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/cq"
+	"hypertree/internal/hypergraph"
+)
+
+func hg(src string) *hypergraph.Hypergraph {
+	h, _ := cq.MustParse(src).Hypergraph()
+	return h
+}
+
+// Q1 (Example 1.1): cyclic.
+const q1 = `enrolled(S, C, R), teaches(P, C, A), parent(P, S)`
+
+// Q2 (Example 1.1): acyclic — Fig. 1 shows a join tree.
+const q2 = `teaches(P, C, A), enrolled(S, C2, R), parent(P, S)`
+
+// Q3 (Example 2.1): acyclic — Fig. 3 shows a join tree.
+const q3 = `r(Y, Z), g(X, Y), s1(Y, Z, U), s2(Z, U, W), t1(Y, Z), t2(Z, U)`
+
+func TestE01Q2Acyclic(t *testing.T) {
+	h := hg(q2)
+	tree, ok := GYO(h)
+	if !ok {
+		t.Fatalf("Q2 must be acyclic (Fig. 1)")
+	}
+	if err := Validate(h, tree); err != nil {
+		t.Fatalf("GYO tree invalid: %v", err)
+	}
+}
+
+func TestE01Q1Cyclic(t *testing.T) {
+	h := hg(q1)
+	if _, ok := GYO(h); ok {
+		t.Fatalf("Q1 must be cyclic (Example 1.2)")
+	}
+	if IsAcyclic(h) {
+		t.Fatalf("IsAcyclic(Q1) = true")
+	}
+}
+
+func TestE03Q3Acyclic(t *testing.T) {
+	h := hg(q3)
+	tree, ok := GYO(h)
+	if !ok {
+		t.Fatalf("Q3 must be acyclic (Fig. 3)")
+	}
+	if err := Validate(h, tree); err != nil {
+		t.Fatalf("GYO tree invalid: %v", err)
+	}
+	// Maier cross-check
+	mst := MaxWeightSpanningTree(h)
+	if err := Validate(h, mst); err != nil {
+		t.Fatalf("max-weight spanning tree should be a join tree on acyclic input: %v", err)
+	}
+}
+
+func TestTriangleCyclic(t *testing.T) {
+	h := hg(`r(X,Y), s(Y,Z), t(Z,X)`)
+	if IsAcyclic(h) {
+		t.Fatalf("triangle is cyclic")
+	}
+	mst := MaxWeightSpanningTree(h)
+	if err := Validate(h, mst); err == nil {
+		t.Fatalf("no spanning tree of a cyclic hypergraph is a join tree")
+	}
+}
+
+func TestPathAcyclic(t *testing.T) {
+	h := hg(`r(A,B), s(B,C), t(C,D), u(D,E)`)
+	tree, ok := GYO(h)
+	if !ok {
+		t.Fatalf("path query is acyclic")
+	}
+	if err := Validate(h, tree); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.PostOrder()); got != 4 {
+		t.Fatalf("PostOrder covers %d nodes, want 4", got)
+	}
+}
+
+func TestSingleAtomAndEmpty(t *testing.T) {
+	h := hg(`r(X,Y,Z)`)
+	tree, ok := GYO(h)
+	if !ok || tree.Root != 0 {
+		t.Fatalf("single atom: ok=%v tree=%v", ok, tree)
+	}
+	if err := Validate(h, tree); err != nil {
+		t.Fatal(err)
+	}
+	empty := hypergraph.New()
+	if tr, ok := GYO(empty); !ok || tr != nil {
+		t.Fatalf("empty hypergraph: want (nil, true)")
+	}
+	if err := Validate(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if MaxWeightSpanningTree(empty) != nil {
+		t.Fatalf("MST of empty hypergraph should be nil")
+	}
+}
+
+func TestDisconnectedAcyclic(t *testing.T) {
+	h := hg(`r(A,B), s(C,D)`)
+	tree, ok := GYO(h)
+	if !ok {
+		t.Fatalf("two disjoint atoms are acyclic")
+	}
+	if err := Validate(h, tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsumedEdges(t *testing.T) {
+	// an edge contained in another is always an ear
+	h := hg(`r(X,Y,Z), s(X,Y), t(Y,Z), u(Z)`)
+	tree, ok := GYO(h)
+	if !ok {
+		t.Fatalf("subsumed edges keep the hypergraph acyclic")
+	}
+	if err := Validate(h, tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateEdges(t *testing.T) {
+	h := hg(`r(X,Y), r2(X,Y), s(Y,Z)`)
+	if !IsAcyclic(h) {
+		t.Fatalf("duplicate edges are acyclic")
+	}
+}
+
+func TestValidateRejectsBrokenTrees(t *testing.T) {
+	h := hg(`r(A,B), s(B,C), t(C,D)`)
+	// Tree r - t - s is NOT a join tree: B occurs in r and s but not in t.
+	bad := &Tree{Root: 0, Parent: []int{-1, 2, 0}, Children: [][]int{{2}, nil, {1}}}
+	if err := Validate(h, bad); err == nil {
+		t.Fatalf("connectedness violation not detected")
+	}
+	// two roots
+	bad2 := &Tree{Root: 0, Parent: []int{-1, -1, 1}, Children: [][]int{nil, {2}, nil}}
+	if err := Validate(h, bad2); err == nil {
+		t.Fatalf("two roots not detected")
+	}
+	// wrong size
+	bad3 := &Tree{Root: 0, Parent: []int{-1}, Children: [][]int{nil}}
+	if err := Validate(h, bad3); err == nil {
+		t.Fatalf("size mismatch not detected")
+	}
+	if err := Validate(h, nil); err == nil {
+		t.Fatalf("nil tree not detected")
+	}
+}
+
+func randomHG(rng *rand.Rand, nv, ne, maxArity int) *hypergraph.Hypergraph {
+	h := hypergraph.New()
+	for v := 0; v < nv; v++ {
+		h.AddVertex(string(rune('A' + v)))
+	}
+	for e := 0; e < ne; e++ {
+		var s bitset.Set
+		for i := 0; i < 1+rng.Intn(maxArity); i++ {
+			s.Add(rng.Intn(nv))
+		}
+		h.AddEdgeSet("e"+string(rune('a'+e)), s)
+	}
+	return h
+}
+
+// Property: GYO and Maier's max-weight spanning tree agree on acyclicity,
+// and every produced join tree validates.
+func TestPropertyGYOAgreesWithMaier(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	acyclicSeen, cyclicSeen := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		h := randomHG(rng, 2+rng.Intn(7), 1+rng.Intn(7), 1+rng.Intn(4))
+		tree, gyoAcyclic := GYO(h)
+		mst := MaxWeightSpanningTree(h)
+		maierAcyclic := Validate(h, mst) == nil
+		if gyoAcyclic != maierAcyclic {
+			t.Fatalf("trial %d: GYO=%v Maier=%v on\n%s", trial, gyoAcyclic, maierAcyclic, h)
+		}
+		if gyoAcyclic {
+			acyclicSeen++
+			if err := Validate(h, tree); err != nil {
+				t.Fatalf("trial %d: GYO tree invalid: %v\n%s", trial, err, h)
+			}
+		} else {
+			cyclicSeen++
+		}
+	}
+	if acyclicSeen == 0 || cyclicSeen == 0 {
+		t.Fatalf("test corpus not diverse: %d acyclic, %d cyclic", acyclicSeen, cyclicSeen)
+	}
+}

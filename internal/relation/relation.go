@@ -1,0 +1,200 @@
+// Package relation provides the relational substrate for query evaluation:
+// databases of named relations over an interned constant dictionary, and
+// tables over query variables with the operations Yannakakis-style
+// evaluation needs (binding, projection, natural join, semijoin).
+//
+// Values are int32 indices into the database dictionary, tuples are stored
+// flat (row-major) for locality, and all operations use set semantics, as in
+// the paper's relational model (Section 2.1).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an interned constant.
+type Value = int32
+
+// Database holds relations and the constant dictionary.
+type Database struct {
+	dict  map[string]Value
+	names []string
+	rels  map[string]*Relation
+	order []string // relation insertion order, for deterministic iteration
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{dict: map[string]Value{}, rels: map[string]*Relation{}}
+}
+
+// Intern returns the Value for a constant, creating it if needed.
+func (db *Database) Intern(s string) Value {
+	if v, ok := db.dict[s]; ok {
+		return v
+	}
+	v := Value(len(db.names))
+	db.names = append(db.names, s)
+	db.dict[s] = v
+	return v
+}
+
+// Lookup returns the Value of a constant if it exists.
+func (db *Database) Lookup(s string) (Value, bool) {
+	v, ok := db.dict[s]
+	return v, ok
+}
+
+// ValueName returns the constant spelled by v.
+func (db *Database) ValueName(v Value) string { return db.names[v] }
+
+// UniverseSize returns the number of interned constants.
+func (db *Database) UniverseSize() int { return len(db.names) }
+
+// Relation returns the named relation, or nil.
+func (db *Database) Relation(name string) *Relation { return db.rels[name] }
+
+// RelationNames returns the relation names in insertion order.
+func (db *Database) RelationNames() []string { return db.order }
+
+// AddRelation creates (or returns) the named relation with the given arity.
+func (db *Database) AddRelation(name string, arity int) (*Relation, error) {
+	if r, ok := db.rels[name]; ok {
+		if r.Arity != arity {
+			return nil, fmt.Errorf("relation: %s has arity %d, not %d", name, r.Arity, arity)
+		}
+		return r, nil
+	}
+	r := &Relation{Name: name, Arity: arity}
+	db.rels[name] = r
+	db.order = append(db.order, name)
+	return r, nil
+}
+
+// AddFact inserts the ground atom name(args...), creating the relation on
+// first use.
+func (db *Database) AddFact(name string, args ...string) error {
+	r, err := db.AddRelation(name, len(args))
+	if err != nil {
+		return err
+	}
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		vals[i] = db.Intern(a)
+	}
+	r.Add(vals...)
+	return nil
+}
+
+// MaxRelationSize returns max tuples over all relations (the paper's r).
+func (db *Database) MaxRelationSize() int {
+	m := 0
+	for _, r := range db.rels {
+		if r.Rows() > m {
+			m = r.Rows()
+		}
+	}
+	return m
+}
+
+// ParseFacts loads ground atoms, one per line, in the syntax
+// "rel(a, b, c)." ('%' and '#' comments, blank lines and the trailing period
+// are allowed).
+func (db *Database) ParseFacts(src string) error {
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if i := strings.IndexAny(line, "%#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		for line != "" {
+			open := strings.IndexByte(line, '(')
+			closeIdx := strings.IndexByte(line, ')')
+			if open <= 0 || closeIdx < open {
+				return fmt.Errorf("relation: line %d: cannot parse fact %q", ln+1, line)
+			}
+			name := strings.TrimSpace(line[:open])
+			inner := line[open+1 : closeIdx]
+			var args []string
+			if strings.TrimSpace(inner) != "" {
+				for _, a := range strings.Split(inner, ",") {
+					args = append(args, strings.TrimSpace(a))
+				}
+			}
+			if err := db.AddFact(name, args...); err != nil {
+				return fmt.Errorf("relation: line %d: %v", ln+1, err)
+			}
+			line = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line[closeIdx+1:]), "."))
+		}
+	}
+	return nil
+}
+
+// Relation is a set of tuples of fixed arity, stored row-major.
+type Relation struct {
+	Name  string
+	Arity int
+	data  []Value
+	index map[string]bool // tuple dedup
+}
+
+// Rows returns the number of tuples.
+func (r *Relation) Rows() int {
+	if r.Arity == 0 {
+		if r.index["ε"] {
+			return 1
+		}
+		return 0
+	}
+	return len(r.data) / r.Arity
+}
+
+// Row returns the i-th tuple (not to be mutated).
+func (r *Relation) Row(i int) []Value { return r.data[i*r.Arity : (i+1)*r.Arity] }
+
+// Add inserts a tuple; duplicates are ignored.
+func (r *Relation) Add(vals ...Value) {
+	if len(vals) != r.Arity {
+		panic(fmt.Sprintf("relation: %s expects arity %d, got %d", r.Name, r.Arity, len(vals)))
+	}
+	if r.index == nil {
+		r.index = map[string]bool{}
+	}
+	key := encode(vals)
+	if r.Arity == 0 {
+		key = "ε"
+	}
+	if r.index[key] {
+		return
+	}
+	r.index[key] = true
+	r.data = append(r.data, vals...)
+}
+
+func encode(vals []Value) string {
+	var b strings.Builder
+	b.Grow(len(vals) * 4)
+	for _, v := range vals {
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}
+
+// String renders the relation as facts, sorted, for tests and tools.
+func (r *Relation) StringWith(db *Database) string {
+	var rows []string
+	for i := 0; i < r.Rows(); i++ {
+		row := r.Row(i)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = db.ValueName(v)
+		}
+		rows = append(rows, fmt.Sprintf("%s(%s).", r.Name, strings.Join(parts, ",")))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}

@@ -1,0 +1,233 @@
+package xc3s
+
+import (
+	"fmt"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+// Reduction is the Theorem 3.4 construction: a query (as a hypergraph) built
+// from an XC3S instance I such that qw(Q(I)) ≤ 4 iff I has an exact cover.
+type Reduction struct {
+	Instance Instance
+	PS       *ThreePS
+	H        *hypergraph.Hypergraph
+
+	BlockA [][]int  // BlockA[a]: the 4 edge ids of BLOCKA_a, 0 ≤ a ≤ s
+	BlockB [][]int  // BlockB[a]: the 4 edge ids of BLOCKB_a
+	Links  []int    // Links[a-1]: edge id of link(Y_{a-1}, Z_a), 1 ≤ a ≤ s
+	W      [][3]int // W[i]: the 3 edge ids of W[D_i], 0 ≤ i < m
+	// WOfElement[x]: all w-atom edge ids whose element variable is x.
+	WOfElement [][]int
+}
+
+// Build constructs Q(I) following Section 7:
+//
+//   - a strict (m+1, 2)-3PS provides partitions s_0..s_m of a base set S;
+//   - s_0's classes give the block padding sets (S′ ∪ S″ = S⁰_a, S⁰_b, S⁰_c);
+//   - blocks BLOCKA_a / BLOCKB_a (0 ≤ a ≤ s) of 4 atoms each carry the
+//     clique variables P^a_i ⊆ C_a plus Z_a / Y_a;
+//   - link(Y_{a-1}, Z_a) atoms chain the blocks;
+//   - W[D_i] = {w(X_a, S^i_a), w(X_b, S^i_b), w(X_c, S^i_c)} encode D.
+func Build(ins Instance) (*Reduction, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	s := ins.R / 3
+	m := len(ins.D)
+	ps := NewStrictThreePS(m+1, 2)
+	h := hypergraph.New()
+
+	baseVar := make([]string, ps.Base)
+	for i := range baseVar {
+		baseVar[i] = fmt.Sprintf("B%d", i)
+		h.AddVertex(baseVar[i])
+	}
+	names := func(class []int) []string {
+		out := make([]string, len(class))
+		for i, x := range class {
+			out[i] = baseVar[x]
+		}
+		return out
+	}
+
+	s0 := ps.Partitions[0]
+	if len(s0[0]) < 2 {
+		return nil, fmt.Errorf("xc3s: 3PS class too small to split")
+	}
+	sPrime := names(s0[0][:1])  // S′
+	sSecond := names(s0[0][1:]) // S″
+	s0b := names(s0[1])
+	s0c := names(s0[2])
+
+	r := &Reduction{Instance: ins, PS: ps, H: h, WOfElement: make([][]int, ins.R)}
+
+	// P^a_i: the 7 clique variables V^a_{min(i,j)max(i,j)} for j ≠ i.
+	pVars := func(a, i int) []string {
+		var out []string
+		for j := 1; j <= 8; j++ {
+			if j == i {
+				continue
+			}
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			out = append(out, fmt.Sprintf("V%d_%d_%d", a, lo, hi))
+		}
+		return out
+	}
+	block := func(a int, side string, offset int, extra string) []int {
+		// atoms: q(P_{off+1}, S′, extra), pa(P_{off+2}, S″),
+		//        pb(P_{off+3}, S⁰_b), pc(P_{off+4}, S⁰_c)
+		qArgs := append(append([]string{}, pVars(a, offset+1)...), sPrime...)
+		if extra != "" {
+			qArgs = append(qArgs, extra)
+		}
+		ids := []int{
+			h.AddEdge(fmt.Sprintf("q%s%d", side, a), qArgs...),
+			h.AddEdge(fmt.Sprintf("pa%s%d", side, a), append(append([]string{}, pVars(a, offset+2)...), sSecond...)...),
+			h.AddEdge(fmt.Sprintf("pb%s%d", side, a), append(append([]string{}, pVars(a, offset+3)...), s0b...)...),
+			h.AddEdge(fmt.Sprintf("pc%s%d", side, a), append(append([]string{}, pVars(a, offset+4)...), s0c...)...),
+		}
+		return ids
+	}
+	for a := 0; a <= s; a++ {
+		r.BlockA = append(r.BlockA, block(a, "A", 0, fmt.Sprintf("Z%d", a)))
+		r.BlockB = append(r.BlockB, block(a, "B", 4, fmt.Sprintf("Y%d", a)))
+	}
+	for a := 1; a <= s; a++ {
+		r.Links = append(r.Links, h.AddEdge(fmt.Sprintf("link%d", a),
+			fmt.Sprintf("Y%d", a-1), fmt.Sprintf("Z%d", a)))
+	}
+	for i, d := range ins.D {
+		si := ps.Partitions[i+1]
+		var ids [3]int
+		for c := 0; c < 3; c++ {
+			elem := d[c]
+			args := append([]string{fmt.Sprintf("X%d", elem)}, names(si[c])...)
+			ids[c] = h.AddEdge(fmt.Sprintf("w%d_%c", i, 'a'+c), args...)
+			r.WOfElement[elem] = append(r.WOfElement[elem], ids[c])
+		}
+		r.W = append(r.W, ids)
+	}
+	return r, nil
+}
+
+// DecompositionFromCover builds the Fig. 11 width-4 query decomposition from
+// an exact cover (indices into D, in any order). The result is pure and
+// passes querydecomp.Validate, witnessing qw(Q(I)) ≤ 4.
+func (r *Reduction) DecompositionFromCover(cover []int) (*decomp.Decomposition, error) {
+	s := r.Instance.R / 3
+	if len(cover) != s {
+		return nil, fmt.Errorf("xc3s: cover has %d sets, want %d", len(cover), s)
+	}
+	covered := make([]bool, r.Instance.R)
+	for _, i := range cover {
+		if i < 0 || i >= len(r.Instance.D) {
+			return nil, fmt.Errorf("xc3s: cover index %d out of range", i)
+		}
+		for _, x := range r.Instance.D[i] {
+			if covered[x] {
+				return nil, fmt.Errorf("xc3s: element %d covered twice", x)
+			}
+			covered[x] = true
+		}
+	}
+	for x, c := range covered {
+		if !c {
+			return nil, fmt.Errorf("xc3s: element %d not covered", x)
+		}
+	}
+
+	h := r.H
+	mkNode := func(edges ...int) *decomp.Node {
+		lambda := bitset.FromSlice(edges)
+		return &decomp.Node{Chi: h.Vars(lambda), Lambda: lambda}
+	}
+	root := mkNode(r.BlockA[0]...) // v_{a0}
+	vb := mkNode(r.BlockB[0]...)   // v_{b0}
+	root.Children = []*decomp.Node{vb}
+	prev := vb
+	for a := 1; a <= s; a++ {
+		di := cover[a-1]
+		vc := mkNode(append([]int{r.Links[a-1]}, r.W[di][:]...)...)
+		prev.Children = append(prev.Children, vc)
+		// leaves: atoms of W(D_a) − W[D_a] — w-atoms of other subsets that
+		// share an element with D_a.
+		inLabel := map[int]bool{r.W[di][0]: true, r.W[di][1]: true, r.W[di][2]: true}
+		for _, x := range r.Instance.D[di] {
+			for _, e := range r.WOfElement[x] {
+				if !inLabel[e] {
+					vc.Children = append(vc.Children, mkNode(e))
+				}
+			}
+		}
+		va := mkNode(r.BlockA[a]...)
+		vc.Children = append(vc.Children, va)
+		vbNext := mkNode(r.BlockB[a]...)
+		va.Children = append(va.Children, vbNext)
+		prev = vbNext
+	}
+	return &decomp.Decomposition{H: h, Root: root}, nil
+}
+
+// DecodeCover extracts an exact cover from a width-≤4 pure query
+// decomposition of Q(I), following the only-if direction of the Theorem 3.4
+// proof: each node whose label contains a link atom must also contain W[D_i]
+// for some i (Fact 6), and the collected D_i form a partition of R (Fact 8).
+func (r *Reduction) DecodeCover(d *decomp.Decomposition) ([]int, error) {
+	isLink := map[int]bool{}
+	for _, e := range r.Links {
+		isLink[e] = true
+	}
+	wIndex := map[int]int{} // w edge id -> D index
+	for i, ids := range r.W {
+		for _, e := range ids {
+			wIndex[e] = i
+		}
+	}
+	chosen := map[int]bool{}
+	for _, n := range d.Nodes() {
+		hasLink := false
+		n.Lambda.ForEach(func(e int) {
+			if isLink[e] {
+				hasLink = true
+			}
+		})
+		if !hasLink {
+			continue
+		}
+		// count complete W[D_i] triples in the label
+		counts := map[int]int{}
+		n.Lambda.ForEach(func(e int) {
+			if i, ok := wIndex[e]; ok {
+				counts[i]++
+			}
+		})
+		for i, c := range counts {
+			if c == 3 {
+				chosen[i] = true
+			}
+		}
+	}
+	var cover []int
+	covered := make([]bool, r.Instance.R)
+	for i := range chosen {
+		cover = append(cover, i)
+		for _, x := range r.Instance.D[i] {
+			if covered[x] {
+				return nil, fmt.Errorf("xc3s: decoded sets overlap on element %d", x)
+			}
+			covered[x] = true
+		}
+	}
+	for x, c := range covered {
+		if !c {
+			return nil, fmt.Errorf("xc3s: decoded cover misses element %d", x)
+		}
+	}
+	return cover, nil
+}

@@ -1,0 +1,244 @@
+// Package xc3s implements the Section 7 machinery of Gottlob, Leone &
+// Scarcello (JCSS 2002): EXACT COVER BY 3-SETS instances with a brute-force
+// solver, strict 3-partitioning-systems (Definition 7.2, Lemma 7.3), and the
+// Theorem 3.4 reduction from XC3S to "query-width ≤ 4".
+package xc3s
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Instance is an EXACT COVER BY 3-SETS instance (R, D): R has r = 3s
+// elements (identified as 0..r-1) and D is a collection of 3-element
+// subsets of R. The question is whether s members of D partition R.
+type Instance struct {
+	R int      // number of elements, must be divisible by 3
+	D [][3]int // 3-element subsets
+}
+
+// Validate checks structural well-formedness.
+func (ins Instance) Validate() error {
+	if ins.R < 0 || ins.R%3 != 0 {
+		return fmt.Errorf("xc3s: |R| = %d is not divisible by 3", ins.R)
+	}
+	for i, d := range ins.D {
+		if d[0] == d[1] || d[0] == d[2] || d[1] == d[2] {
+			return fmt.Errorf("xc3s: D[%d] = %v is not a 3-element set", i, d)
+		}
+		for _, x := range d {
+			if x < 0 || x >= ins.R {
+				return fmt.Errorf("xc3s: D[%d] contains out-of-range element %d", i, x)
+			}
+		}
+	}
+	return nil
+}
+
+// Solve finds an exact cover by brute-force backtracking. It returns the
+// indices into D of a cover and true, or nil and false. Exponential in
+// general — XC3S is NP-complete [Garey & Johnson] — but fine for the small
+// instances used in tests and experiments.
+func (ins Instance) Solve() ([]int, bool) {
+	if err := ins.Validate(); err != nil {
+		return nil, false
+	}
+	covered := make([]bool, ins.R)
+	var pick []int
+	var rec func(need int) bool
+	rec = func(need int) bool {
+		if need == 0 {
+			return true
+		}
+		// first uncovered element
+		first := -1
+		for x := 0; x < ins.R; x++ {
+			if !covered[x] {
+				first = x
+				break
+			}
+		}
+		if first < 0 {
+			return false
+		}
+		for i, d := range ins.D {
+			if d[0] != first && d[1] != first && d[2] != first {
+				continue
+			}
+			if covered[d[0]] || covered[d[1]] || covered[d[2]] {
+				continue
+			}
+			covered[d[0]], covered[d[1]], covered[d[2]] = true, true, true
+			pick = append(pick, i)
+			if rec(need - 1) {
+				return true
+			}
+			pick = pick[:len(pick)-1]
+			covered[d[0]], covered[d[1]], covered[d[2]] = false, false, false
+		}
+		return false
+	}
+	if rec(ins.R / 3) {
+		sort.Ints(pick)
+		return pick, true
+	}
+	return nil, false
+}
+
+// ThreePS is a 3-partitioning-system (Definition 7.2) on a base set of
+// elements 0..Base-1: a list of 3-partitions, each with classes A, B, C.
+type ThreePS struct {
+	Base       int
+	Partitions [][3][]int
+}
+
+// NewStrictThreePS builds a strict (m, k)-3PS following the construction of
+// Lemma 7.3: base set S = T ∪ T′ ∪ T″ with |T| = 3k+m, |T′| = m, |T″| = 3,
+// and for 1 ≤ i ≤ m:
+//
+//	Sᵢa = {X₁..X_{k+i−1}}   ∪ {X′₁..X′_{m−i}}   ∪ {X″a}
+//	Sᵢb = {X_{k+i}..X_{2k+i−1}}                 ∪ {X″b}
+//	Sᵢc = {X_{2k+i}..X_{3k+m}} ∪ {X′_{m−i+1}..X′_m} ∪ {X″c}
+//
+// The construction runs in O(m² + km) time.
+func NewStrictThreePS(m, k int) *ThreePS {
+	if m < 1 || k < 1 {
+		panic("xc3s: NewStrictThreePS requires m ≥ 1 and k ≥ 1")
+	}
+	nT := 3*k + m
+	// element numbering: T = 0..nT-1, T' = nT..nT+m-1, T'' = last three
+	tp := func(j int) int { return nT + j - 1 }  // X'_j, 1-based
+	tpp := func(j int) int { return nT + m + j } // X''_a/b/c, j = 0,1,2
+	base := nT + m + 3
+	ps := &ThreePS{Base: base}
+	for i := 1; i <= m; i++ {
+		var a, b, c []int
+		for x := 1; x <= k+i-1; x++ {
+			a = append(a, x-1)
+		}
+		for j := 1; j <= m-i; j++ {
+			a = append(a, tp(j))
+		}
+		a = append(a, tpp(0))
+		for x := k + i; x <= 2*k+i-1; x++ {
+			b = append(b, x-1)
+		}
+		b = append(b, tpp(1))
+		for x := 2*k + i; x <= nT; x++ {
+			c = append(c, x-1)
+		}
+		for j := m - i + 1; j <= m; j++ {
+			c = append(c, tp(j))
+		}
+		c = append(c, tpp(2))
+		ps.Partitions = append(ps.Partitions, [3][]int{a, b, c})
+	}
+	return ps
+}
+
+// Classes returns all classes of the system in a flat list.
+func (ps *ThreePS) Classes() [][]int {
+	var out [][]int
+	for _, p := range ps.Partitions {
+		out = append(out, p[0], p[1], p[2])
+	}
+	return out
+}
+
+// IsValid checks that every listed triple partitions the base set and that
+// no class occurs in two partitions (Definition 7.2).
+func (ps *ThreePS) IsValid() error {
+	seen := map[string]int{}
+	for i, p := range ps.Partitions {
+		cover := make([]int, ps.Base)
+		for ci := 0; ci < 3; ci++ {
+			if len(p[ci]) == 0 {
+				return fmt.Errorf("xc3s: partition %d has an empty class", i)
+			}
+			key := classKey(p[ci])
+			if j, dup := seen[key]; dup && j != i {
+				return fmt.Errorf("xc3s: class shared between partitions %d and %d", j, i)
+			}
+			seen[key] = i
+			for _, x := range p[ci] {
+				if x < 0 || x >= ps.Base {
+					return fmt.Errorf("xc3s: element %d out of range", x)
+				}
+				cover[x]++
+			}
+		}
+		for x, c := range cover {
+			if c != 1 {
+				return fmt.Errorf("xc3s: partition %d covers element %d %d times", i, x, c)
+			}
+		}
+	}
+	return nil
+}
+
+// IsStrict verifies strictness by checking every triple of distinct classes:
+// the union equals the base set only for the designated partitions. It also
+// confirms no pair of classes covers the base set. O(|classes|³·|S|).
+func (ps *ThreePS) IsStrict() error {
+	if err := ps.IsValid(); err != nil {
+		return err
+	}
+	classes := ps.Classes()
+	designated := map[[3]string]bool{}
+	for _, p := range ps.Partitions {
+		keys := [3]string{classKey(p[0]), classKey(p[1]), classKey(p[2])}
+		sort.Strings(keys[:])
+		designated[keys] = true
+	}
+	n := len(classes)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ps.covers(classes[i], classes[j]) {
+				return fmt.Errorf("xc3s: classes %d,%d cover the base set in pairs", i, j)
+			}
+			for l := j + 1; l < n; l++ {
+				if !ps.covers(classes[i], classes[j], classes[l]) {
+					continue
+				}
+				keys := [3]string{classKey(classes[i]), classKey(classes[j]), classKey(classes[l])}
+				sort.Strings(keys[:])
+				if !designated[keys] {
+					return fmt.Errorf("xc3s: undesignated class triple %d,%d,%d covers the base set", i, j, l)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (ps *ThreePS) covers(classes ...[]int) bool {
+	seen := make([]bool, ps.Base)
+	count := 0
+	for _, c := range classes {
+		for _, x := range c {
+			if !seen[x] {
+				seen[x] = true
+				count++
+			}
+		}
+	}
+	return count == ps.Base
+}
+
+func classKey(c []int) string {
+	s := append([]int(nil), c...)
+	sort.Ints(s)
+	return fmt.Sprint(s)
+}
+
+// RunningExample returns the instance Ie of Section 7: R = {X1..X6} and
+// De = {D1={X1,X3,X4}, D2={X1,X2,X4}, D3={X3,X4,X6}, D4={X3,X5,X6}}
+// (0-indexed here). It is a positive instance: {D2, D4} partitions Re.
+func RunningExample() Instance {
+	return Instance{R: 6, D: [][3]int{
+		{0, 2, 3},
+		{0, 1, 3},
+		{2, 3, 5},
+		{2, 4, 5},
+	}}
+}

@@ -1,0 +1,241 @@
+// Package yannakakis implements Yannakakis' evaluation algorithm for acyclic
+// queries on join trees (VLDB 1981), as used throughout Section 4.2 of the
+// paper: the Boolean variant (upward semijoin reduction), the full reducer
+// (upward + downward passes), and output-polynomial enumeration of
+// non-Boolean answers. A level-parallel reducer exercises the paper's
+// parallelizability claim for acyclic evaluation [GLS, JACM 2001].
+package yannakakis
+
+import (
+	"fmt"
+	"sync"
+
+	"hypertree/internal/cq"
+	"hypertree/internal/jointree"
+	"hypertree/internal/relation"
+)
+
+// Node is a join-tree node carrying the materialised table of its atom (or,
+// for hypertree evaluation, of its λ-join projected to χ).
+type Node struct {
+	Table    *relation.Table
+	Children []*Node
+}
+
+// FromJoinTree binds each atom of an acyclic query to its relation and
+// arranges the tables along the join tree. Ground atoms (no variables) act
+// as global filters: if any ground atom has an empty relation the whole
+// query is false, which is represented by semijoining the root with an empty
+// Boolean table.
+func FromJoinTree(db *relation.Database, q *cq.Query, jt *jointree.Tree) (*Node, error) {
+	if jt == nil {
+		return nil, fmt.Errorf("yannakakis: nil join tree")
+	}
+	_, edgeToAtom := q.Hypergraph()
+	tables := make([]*relation.Table, len(edgeToAtom))
+	for e, ai := range edgeToAtom {
+		tab, err := BindAtom(db, q, ai)
+		if err != nil {
+			return nil, err
+		}
+		tables[e] = tab
+	}
+	groundTrue, err := GroundAtomsHold(db, q)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*Node, len(tables))
+	for e, t := range tables {
+		nodes[e] = &Node{Table: t}
+	}
+	var root *Node
+	for e, p := range jt.Parent {
+		if p < 0 {
+			root = nodes[e]
+		} else {
+			nodes[p].Children = append(nodes[p].Children, nodes[e])
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("yannakakis: join tree has no root")
+	}
+	if !groundTrue {
+		root.Table = relation.NewTable(root.Table.Vars)
+	}
+	return root, nil
+}
+
+// BindAtom materialises body atom ai of q against db: variables become
+// columns (with repeated variables as equality selections) and constants
+// become constant selections.
+func BindAtom(db *relation.Database, q *cq.Query, ai int) (*relation.Table, error) {
+	atom := q.Atoms[ai]
+	rel := db.Relation(atom.Pred)
+	if rel == nil {
+		// an absent relation is empty with the atom's arity
+		rel = &relation.Relation{Name: atom.Pred, Arity: len(atom.Args)}
+	}
+	args := make([]relation.Arg, len(atom.Args))
+	for i, t := range atom.Args {
+		if t.IsVar {
+			v, _ := q.VarIndex(t.Name)
+			args[i] = relation.BindVar(v)
+		} else {
+			c, ok := db.Lookup(t.Name)
+			if !ok {
+				// unknown constant: empty selection, use an impossible value
+				c = -1
+			}
+			args[i] = relation.BindConst(c)
+		}
+	}
+	return relation.Bind(rel, args)
+}
+
+// GroundAtomsHold evaluates the variable-free atoms of q; a Boolean query
+// whose ground atom is absent from the database is false regardless of the
+// rest of the body.
+func GroundAtomsHold(db *relation.Database, q *cq.Query) (bool, error) {
+	for i := range q.Atoms {
+		if !q.VarsOf(i).Empty() {
+			continue
+		}
+		tab, err := BindAtom(db, q, i)
+		if err != nil {
+			return false, err
+		}
+		if tab.Empty() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Boolean decides the query by a single bottom-up semijoin pass: the query
+// is true iff the root table is non-empty after reduction. This is the
+// Boolean Yannakakis algorithm referenced in Section 1.1.
+func Boolean(root *Node) bool {
+	var up func(n *Node) *relation.Table
+	up = func(n *Node) *relation.Table {
+		t := n.Table
+		for _, c := range n.Children {
+			t = t.Semijoin(up(c))
+		}
+		return t
+	}
+	return !up(root).Empty()
+}
+
+// Reduce runs the full reducer in place: an upward semijoin pass followed by
+// a downward pass. Afterwards every table is globally consistent: each
+// remaining row participates in at least one answer.
+func Reduce(root *Node) {
+	var up func(n *Node)
+	up = func(n *Node) {
+		for _, c := range n.Children {
+			up(c)
+			n.Table = n.Table.Semijoin(c.Table)
+		}
+	}
+	var down func(n *Node)
+	down = func(n *Node) {
+		for _, c := range n.Children {
+			c.Table = c.Table.Semijoin(n.Table)
+			down(c)
+		}
+	}
+	up(root)
+	down(root)
+}
+
+// ParallelReduce is Reduce with the per-level semijoins of independent
+// subtrees running on worker goroutines. Nodes at the same depth have
+// disjoint parents' subtrees, so sibling subtrees reduce concurrently.
+func ParallelReduce(root *Node, workers int) {
+	if workers <= 1 {
+		Reduce(root)
+		return
+	}
+	// The semaphore bounds concurrent table work only; goroutines waiting on
+	// children hold no slot, so deep trees cannot deadlock.
+	sem := make(chan struct{}, workers)
+	var up func(n *Node)
+	up = func(n *Node) {
+		var wg sync.WaitGroup
+		for _, c := range n.Children {
+			wg.Add(1)
+			go func(c *Node) {
+				defer wg.Done()
+				up(c)
+			}(c)
+		}
+		wg.Wait()
+		sem <- struct{}{}
+		for _, c := range n.Children {
+			n.Table = n.Table.Semijoin(c.Table)
+		}
+		<-sem
+	}
+	var down func(n *Node)
+	down = func(n *Node) {
+		sem <- struct{}{}
+		for _, c := range n.Children {
+			c.Table = c.Table.Semijoin(n.Table)
+		}
+		<-sem
+		var wg sync.WaitGroup
+		for _, c := range n.Children {
+			wg.Add(1)
+			go func(c *Node) {
+				defer wg.Done()
+				down(c)
+			}(c)
+		}
+		wg.Wait()
+	}
+	up(root)
+	down(root)
+}
+
+// Enumerate computes the answer over the head variables. After full
+// reduction, subtrees are joined bottom-up while projecting away variables
+// that are neither head variables nor needed for joins higher up — the
+// classical guarantee that intermediate results stay polynomial in
+// input + output size (Theorem 4.8 / [Yannakakis 1981]).
+func Enumerate(root *Node, head []int) *relation.Table {
+	Reduce(root)
+	headSet := map[int]bool{}
+	for _, v := range head {
+		headSet[v] = true
+	}
+	var up func(n *Node) *relation.Table
+	up = func(n *Node) *relation.Table {
+		t := n.Table
+		for _, c := range n.Children {
+			t = t.Join(up(c))
+		}
+		// keep head variables and the variables of this node (the node's
+		// own vars are what the parent can join on)
+		var keep []int
+		for _, v := range t.Vars {
+			if headSet[v] || tableHasVar(n.Table, v) {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == len(t.Vars) {
+			return t
+		}
+		return t.Project(keep)
+	}
+	full := up(root)
+	return full.Project(head)
+}
+
+func tableHasVar(t *relation.Table, v int) bool {
+	for _, x := range t.Vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

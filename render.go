@@ -1,0 +1,52 @@
+package hypertree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AtomRepresentation renders a decomposition of q in the style of Fig. 7:
+// every node shows its λ atoms with the variables outside χ(p) replaced by
+// the anonymous variable '_', so χ(p) can be read off as the named
+// variables.
+func AtomRepresentation(q *Query, d *Decomposition) string {
+	if d == nil || d.Root == nil {
+		return "(empty decomposition)\n"
+	}
+	_, edgeToAtom := q.Hypergraph()
+	var b strings.Builder
+	var visit func(n *DecompositionNode, depth int)
+	visit = func(n *DecompositionNode, depth int) {
+		var atoms []string
+		n.Lambda.ForEach(func(e int) {
+			atom := q.Atoms[edgeToAtom[e]]
+			parts := make([]string, len(atom.Args))
+			for i, t := range atom.Args {
+				if t.IsVar {
+					v, _ := q.VarIndex(t.Name)
+					if n.Chi.Has(v) {
+						parts[i] = t.Name
+					} else {
+						parts[i] = "_"
+					}
+				} else {
+					parts[i] = t.Name
+				}
+			}
+			atoms = append(atoms, fmt.Sprintf("%s(%s)", atom.Pred, strings.Join(parts, ",")))
+		})
+		fmt.Fprintf(&b, "%s{ %s }\n", strings.Repeat("  ", depth), strings.Join(atoms, ", "))
+		for _, c := range n.Children {
+			visit(c, depth+1)
+		}
+	}
+	visit(d.Root, 0)
+	return b.String()
+}
+
+// ChiLambdaRepresentation renders a decomposition with explicit χ / λ sets,
+// one node per line, indented by depth (the style of Fig. 6).
+func ChiLambdaRepresentation(d *Decomposition) string { return d.String() }
+
+// DOT renders a decomposition in Graphviz format.
+func DOT(d *Decomposition) string { return d.DOT() }
