@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+# The full gate CI runs: formatting, vet, build, tests.
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

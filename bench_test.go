@@ -5,6 +5,7 @@
 package hypertree
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -366,6 +367,53 @@ func BenchmarkAblationKDecomp(b *testing.B) {
 	b.Run("baseline", func(b *testing.B) { run(b, func(*decomp.Decider) {}) })
 	b.Run("no-memo", func(b *testing.B) { run(b, func(d *decomp.Decider) { d.DisableMemo = true }) })
 	b.Run("full-separator-key", func(b *testing.B) { run(b, func(d *decomp.Decider) { d.FullSeparatorKey = true }) })
+}
+
+// Theorem 4.7 amortisation: executing a precompiled Plan versus paying the
+// decomposition search on every call, and versus the plan cache. The
+// separation grows with the hardness of the query's width search relative
+// to the database size — the binary 7-clique (hw = 4) makes the per-call
+// search clearly visible next to a small database.
+func BenchmarkPlanReuse(b *testing.B) {
+	q := gen.CliqueBinary(7)
+	db := gen.RandomDatabase(rand.New(rand.NewSource(9)), q, 16, 8)
+	ctx := context.Background()
+	opts := []CompileOption{WithStrategy(StrategyHypertree)}
+	b.Run("compile-once-execute", func(b *testing.B) {
+		plan, err := Compile(q, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.ExecuteBoolean(ctx, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile-per-call", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, err := Compile(q, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.ExecuteBoolean(ctx, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-compile-per-call", func(b *testing.B) {
+		cache := NewPlanCache(16)
+		for i := 0; i < b.N; i++ {
+			plan, err := cache.Compile(ctx, q, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.ExecuteBoolean(ctx, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Ablation: the parallel Yannakakis reducer against the sequential one on a

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -98,16 +99,17 @@ var experiments = []experiment{
 			q    *hypertree.Query
 			want int
 		}{{"Q1", gen.Q1(), 2}, {"Q5", gen.Q5(), 2}} {
-			w, d, err := hypertree.HypertreeWidth(tc.q)
+			plan, err := hypertree.Compile(tc.q, hypertree.WithStrategy(hypertree.StrategyHypertree))
 			if err != nil {
 				return err
 			}
+			d := plan.Decomposition()
 			nf := "yes"
 			if d.CheckNormalForm() != nil {
 				nf = "no"
 			}
-			fmt.Printf("  %s: paper hw=%d, measured hw=%d (valid, NF=%s, %d nodes)\n", tc.name, tc.want, w, nf, d.NumNodes())
-			if w != tc.want {
+			fmt.Printf("  %s: paper hw=%d, measured hw=%d (valid, NF=%s, %d nodes)\n", tc.name, tc.want, plan.Width(), nf, d.NumNodes())
+			if plan.Width() != tc.want {
 				return fmt.Errorf("%s width mismatch", tc.name)
 			}
 		}
@@ -115,11 +117,11 @@ var experiments = []experiment{
 	}},
 	{"E7", "Fig. 7 — atom representation of HD5", func() error {
 		q := gen.Q5()
-		_, d, err := hypertree.HypertreeWidth(q)
+		plan, err := hypertree.Compile(q, hypertree.WithStrategy(hypertree.StrategyHypertree))
 		if err != nil {
 			return err
 		}
-		fmt.Print(indent(hypertree.AtomRepresentation(q, d)))
+		fmt.Print(indent(hypertree.AtomRepresentation(q, plan.Decomposition())))
 		return nil
 	}},
 	{"E8", "Fig. 8 / Lemma 4.6 — HD → acyclic instance, size O(r^k)", func() error {
@@ -369,6 +371,39 @@ var experiments = []experiment{
 			fmt.Printf("  %5d | %11d | %v\n", r, out.Rows(), time.Since(t0).Round(time.Microsecond))
 		}
 		fmt.Println("  expected shape: time grows with input+output, not with the r³ cross product")
+		return nil
+	}},
+	{"E21", "Thm. 4.7 — compile-once plan amortisation", func() error {
+		q := gen.Cycle(6)
+		t0 := time.Now()
+		plan, err := hypertree.Compile(q, hypertree.WithStrategy(hypertree.StrategyHypertree))
+		if err != nil {
+			return err
+		}
+		compile := time.Since(t0)
+		fmt.Printf("  compiled %s in %v\n", plan, compile.Round(time.Microsecond))
+		ctx := context.Background()
+		for i, seed := range []int64{2, 3, 4} {
+			db := gen.RandomDatabase(rand.New(rand.NewSource(seed)), q, 200, 32)
+			t1 := time.Now()
+			ok, err := plan.ExecuteBoolean(ctx, db)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  db%d: %-5v in %v (no new decomposition search)\n",
+				i+1, ok, time.Since(t1).Round(time.Microsecond))
+		}
+		cache := hypertree.NewPlanCache(8)
+		for i := 0; i < 3; i++ {
+			if _, err := cache.Compile(ctx, q, hypertree.WithStrategy(hypertree.StrategyHypertree)); err != nil {
+				return err
+			}
+		}
+		hits, misses := cache.Stats()
+		fmt.Printf("  plan cache over 3 identical compiles: %d hit(s), %d miss(es)\n", hits, misses)
+		if misses != 1 || hits != 2 {
+			return fmt.Errorf("cache should compile once")
+		}
 		return nil
 	}},
 }

@@ -10,19 +10,24 @@
 //
 // Flags:
 //
-//	-k N        decide hw ≤ N and print a width-≤N decomposition
-//	-opt        compute the exact hypertree width (default)
-//	-qw         also compute the query width (exponential search!)
-//	-parallel N use N workers for the decomposition search
-//	-dot        emit Graphviz output instead of text
-//	-jointree   print a join tree if the query is acyclic
+//	-k N          decide hw ≤ N and print a width-≤N decomposition
+//	-opt          compute the exact hypertree width (default)
+//	-qw           also compute the query width (exponential search!)
+//	-parallel N   use N workers for the decomposition search
+//	-budget N     abort after N search steps
+//	-timeout D    abort the search after duration D (e.g. 5s)
+//	-dot          emit Graphviz output instead of text
+//	-jointree     print a join tree if the query is acyclic
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"hypertree"
 )
@@ -32,17 +37,19 @@ func main() {
 		k        = flag.Int("k", 0, "decide hw ≤ k (0 = compute exact width)")
 		qw       = flag.Bool("qw", false, "also compute the query width (exponential)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the search (0 = sequential)")
+		budget   = flag.Int("budget", 0, "abort after this many search steps (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 0, "abort the search after this duration (0 = none)")
 		dot      = flag.Bool("dot", false, "emit Graphviz output")
 		jt       = flag.Bool("jointree", false, "print a join tree if acyclic")
 	)
 	flag.Parse()
-	if err := run(*k, *qw, *parallel, *dot, *jt, flag.Args()); err != nil {
+	if err := run(*k, *qw, *parallel, *budget, *timeout, *dot, *jt, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hdtool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(k int, qw bool, parallel int, dot, printJT bool, args []string) error {
+func run(k int, qw bool, parallel, budget int, timeout time.Duration, dot, printJT bool, args []string) error {
 	src, err := readInput(args)
 	if err != nil {
 		return err
@@ -64,25 +71,40 @@ func run(k int, qw bool, parallel int, dot, printJT bool, args []string) error {
 		}
 	}
 
-	var d *hypertree.Decomposition
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	opts := []hypertree.CompileOption{hypertree.WithStrategy(hypertree.StrategyHypertree)}
 	if k > 0 {
-		if parallel > 0 {
-			d = hypertree.DecomposeParallel(q, k, parallel)
-		} else {
-			d = hypertree.Decompose(q, k)
-		}
-		if d == nil {
-			fmt.Printf("hw(Q) > %d\n", k)
-			return nil
-		}
-		fmt.Printf("hw(Q) ≤ %d, found width %d\n", k, d.Width())
+		opts = append(opts, hypertree.WithMaxWidth(k))
+	}
+	if parallel > 0 {
+		opts = append(opts, hypertree.WithWorkers(parallel))
+	}
+	if budget > 0 {
+		opts = append(opts, hypertree.WithStepBudget(budget))
+	}
+	plan, err := hypertree.CompileContext(ctx, q, opts...)
+	switch {
+	case errors.Is(err, hypertree.ErrWidthExceeded):
+		fmt.Printf("hw(Q) > %d\n", k)
+		return nil
+	case errors.Is(err, hypertree.ErrStepBudget):
+		return fmt.Errorf("search exceeded the %d-step budget", budget)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("search exceeded the %v timeout", timeout)
+	case err != nil:
+		return err
+	}
+	d := plan.Decomposition()
+	if k > 0 {
+		fmt.Printf("hw(Q) ≤ %d, found width %d\n", k, plan.Width())
 	} else {
-		w, dec, err := hypertree.HypertreeWidth(q)
-		if err != nil {
-			return err
-		}
-		d = dec
-		fmt.Printf("hypertree width: %d\n", w)
+		fmt.Printf("hypertree width: %d\n", plan.Width())
 	}
 	if err := hypertree.ValidateHD(d); err != nil {
 		return fmt.Errorf("internal error: produced decomposition invalid: %v", err)

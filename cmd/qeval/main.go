@@ -1,15 +1,20 @@
-// Command qeval evaluates a conjunctive query against a database of facts.
+// Command qeval evaluates a conjunctive query against databases of facts.
 //
 // Usage:
 //
-//	qeval -query queryfile -db factsfile [-strategy auto|naive|acyclic|hd]
+//	qeval -query queryfile -db factsfile [-db2 factsfile ...]
+//	      [-strategy auto|naive|acyclic|hd|qd] [-workers N] [-timeout D]
 //
-// The query file holds one rule ("ans(X) :- r(X,Y), s(Y,Z)."); the facts
+// The query file holds one rule ("ans(X) :- r(X,Y), s(Y,Z)."); each facts
 // file holds ground atoms, one or more per line ("r(a,b). s(b,c)."). For a
-// Boolean query the verdict is printed; otherwise the answer relation.
+// Boolean query the verdict is printed; otherwise the answer relation. The
+// query is compiled once and the plan is executed against every database —
+// the amortisation of Theorem 4.7 (with -time, compile and per-database
+// execution are reported separately).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,17 +27,20 @@ func main() {
 	var (
 		queryFile = flag.String("query", "", "file holding the conjunctive query")
 		dbFile    = flag.String("db", "", "file holding the facts")
-		strategy  = flag.String("strategy", "auto", "auto | naive | acyclic | hd")
-		timing    = flag.Bool("time", false, "print evaluation wall time")
+		dbFile2   = flag.String("db2", "", "optional second facts file (plan reuse)")
+		strategy  = flag.String("strategy", "auto", "auto | naive | acyclic | hd | qd")
+		workers   = flag.Int("workers", 0, "worker goroutines for search and reduction")
+		timeout   = flag.Duration("timeout", 0, "abort compilation/evaluation after this duration")
+		timing    = flag.Bool("time", false, "print compile and evaluation wall time")
 	)
 	flag.Parse()
-	if err := run(*queryFile, *dbFile, *strategy, *timing); err != nil {
+	if err := run(*queryFile, *dbFile, *dbFile2, *strategy, *workers, *timeout, *timing); err != nil {
 		fmt.Fprintln(os.Stderr, "qeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryFile, dbFile, strategyName string, timing bool) error {
+func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout time.Duration, timing bool) error {
 	if queryFile == "" || dbFile == "" {
 		return fmt.Errorf("both -query and -db are required")
 	}
@@ -44,43 +52,73 @@ func run(queryFile, dbFile, strategyName string, timing bool) error {
 	if err != nil {
 		return err
 	}
-	facts, err := os.ReadFile(dbFile)
-	if err != nil {
-		return err
-	}
-	db := hypertree.NewDatabase()
-	if err := db.ParseFacts(string(facts)); err != nil {
-		return err
-	}
 
-	var strategy hypertree.Strategy
+	opts := []hypertree.CompileOption{}
 	switch strategyName {
 	case "auto":
-		strategy = hypertree.StrategyAuto
+		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyAuto))
 	case "naive":
-		strategy = hypertree.StrategyNaive
+		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyNaive))
 	case "acyclic":
-		strategy = hypertree.StrategyAcyclic
+		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyAcyclic))
 	case "hd":
-		strategy = hypertree.StrategyHypertree
+		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyHypertree))
+	case "qd":
+		opts = append(opts,
+			hypertree.WithStrategy(hypertree.StrategyHypertree),
+			hypertree.WithDecomposer(hypertree.QueryDecomposer()))
 	default:
 		return fmt.Errorf("unknown strategy %q", strategyName)
 	}
+	if workers > 0 {
+		opts = append(opts, hypertree.WithWorkers(workers))
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 
 	start := time.Now()
-	ok, table, err := hypertree.Evaluate(db, q, strategy)
-	elapsed := time.Since(start)
+	plan, err := hypertree.CompileContext(ctx, q, opts...)
 	if err != nil {
 		return err
 	}
-	if q.IsBoolean() {
-		fmt.Println(ok)
-	} else {
-		fmt.Printf("%d answers\n", table.Rows())
-		fmt.Println(table.StringWith(db, q.VarName))
+	compileTime := time.Since(start)
+
+	files := []string{dbFile}
+	if dbFile2 != "" {
+		files = append(files, dbFile2)
 	}
-	if timing {
-		fmt.Printf("evaluated in %v\n", elapsed)
+	for _, f := range files {
+		facts, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		db := hypertree.NewDatabase()
+		if err := db.ParseFacts(string(facts)); err != nil {
+			return err
+		}
+		if len(files) > 1 {
+			fmt.Printf("-- %s --\n", f)
+		}
+		start = time.Now()
+		table, err := plan.Execute(ctx, db)
+		elapsed := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if q.IsBoolean() {
+			fmt.Println(!table.Empty())
+		} else {
+			fmt.Printf("%d answers\n", table.Rows())
+			fmt.Println(table.StringWith(db, q.VarName))
+		}
+		if timing {
+			fmt.Printf("compiled %s in %v, executed in %v\n", plan, compileTime, elapsed)
+		}
 	}
 	return nil
 }

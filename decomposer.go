@@ -1,0 +1,113 @@
+package hypertree
+
+import (
+	"context"
+	"errors"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/querydecomp"
+)
+
+// Typed errors of the compilation pipeline. The internal search packages
+// return these same sentinels, so errors.Is works across the whole API.
+var (
+	// ErrInvalidWidth reports a width bound k < 1.
+	ErrInvalidWidth = decomp.ErrInvalidWidth
+	// ErrWidthExceeded reports that the search completed and proved that no
+	// decomposition exists within the requested width bound.
+	ErrWidthExceeded = decomp.ErrWidthExceeded
+	// ErrStepBudget reports that a step budget cut the search off before it
+	// could find a decomposition or prove that none exists.
+	ErrStepBudget = decomp.ErrStepBudget
+	// ErrCyclic reports that StrategyAcyclic was requested for a query that
+	// has no join tree.
+	ErrCyclic = errors.New("hypertree: query is cyclic (no join tree)")
+)
+
+// DecomposeRequest carries the tuning knobs Compile hands to a Decomposer.
+type DecomposeRequest struct {
+	// MaxWidth bounds the width of the decomposition; 0 means "minimise":
+	// search k = 1, 2, ... until a decomposition is found.
+	MaxWidth int
+	// StepBudget bounds the number of search steps (candidate separator
+	// sets tested, cumulative across a minimising width search); 0 means
+	// unlimited. An exhausted budget yields ErrStepBudget.
+	StepBudget int
+	// Workers is the requested parallelism for decomposers that support it
+	// (≤ 1 means sequential).
+	Workers int
+}
+
+// Decomposer is a pluggable decomposition strategy: given a query hypergraph
+// it returns a hypertree decomposition satisfying the request, or a typed
+// error — ErrWidthExceeded when it proves none exists within req.MaxWidth,
+// ErrStepBudget when req.StepBudget ran out, or ctx.Err() on cancellation.
+// Implementations must be safe for concurrent use; Compile validates every
+// returned decomposition against Definition 4.1.
+//
+// Three built-in strategies cover the paper's algorithms (KDecomposer,
+// ParallelKDecomposer, QueryDecomposer); future methods — greedy heuristics,
+// generalised hypertree decompositions — plug in through WithDecomposer
+// without another API change.
+type Decomposer interface {
+	// Name identifies the strategy; it participates in plan-cache keys, so
+	// two Decomposers with the same name must be interchangeable.
+	Name() string
+	Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error)
+}
+
+// KDecomposer returns the sequential k-decomp Decomposer (the alternating
+// algorithm of Section 5 in deterministic, memoised form). It honours
+// MaxWidth and StepBudget and ignores Workers.
+func KDecomposer() Decomposer { return kDecomposer{} }
+
+type kDecomposer struct{}
+
+func (kDecomposer) Name() string { return "k-decomp" }
+
+func (kDecomposer) Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error) {
+	if req.MaxWidth == 0 {
+		_, d, err := decomp.WidthContext(ctx, h, req.StepBudget)
+		return d, err
+	}
+	return decomp.DecomposeContext(ctx, h, req.MaxWidth, req.StepBudget)
+}
+
+// ParallelKDecomposer returns the parallel k-decomp Decomposer: the
+// root-level guesses of the alternating algorithm are distributed over
+// req.Workers goroutines (≤ 0 selects GOMAXPROCS) — the operational reading
+// of the paper's LOGCFL parallelizability statement. StepBudget is enforced
+// as a cross-worker total of candidate sets tested.
+func ParallelKDecomposer() Decomposer { return parallelKDecomposer{} }
+
+type parallelKDecomposer struct{}
+
+func (parallelKDecomposer) Name() string { return "parallel-k-decomp" }
+
+func (parallelKDecomposer) Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error) {
+	if req.MaxWidth != 0 {
+		return decomp.ParallelDecomposeContext(ctx, h, req.MaxWidth, req.Workers, req.StepBudget)
+	}
+	_, d, err := decomp.ParallelWidthContext(ctx, h, req.Workers, req.StepBudget)
+	return d, err
+}
+
+// QueryDecomposer returns the pure query-decomposition Decomposer
+// (Definition 3.1, the notion of Chekuri & Rajaraman). Deciding qw ≤ 4 is
+// NP-complete (Theorem 3.4), so this is an exponential exact search meant
+// for small queries; StepBudget is the safety valve. Every pure query
+// decomposition is also a valid hypertree decomposition (χ = var(λ)), so
+// the resulting plans evaluate through the same Lemma 4.6 machinery.
+func QueryDecomposer() Decomposer { return queryDecomposer{} }
+
+type queryDecomposer struct{}
+
+func (queryDecomposer) Name() string { return "query-decomp" }
+
+func (queryDecomposer) Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error) {
+	if req.MaxWidth == 0 {
+		_, d, err := querydecomp.WidthContext(ctx, h, 1, req.StepBudget)
+		return d, err
+	}
+	return querydecomp.SearchContext(ctx, h, req.MaxWidth, req.StepBudget)
+}

@@ -1,10 +1,13 @@
 // CSP: constraint satisfaction as conjunctive query evaluation (the
 // equivalence discussed in Section 6 of the paper). A graph 3-colouring
 // problem over a wheel-like constraint network is encoded as a Boolean CQ —
-// one "neq" atom per edge — and solved through a hypertree decomposition.
+// one "neq" atom per edge — compiled once, and the plan is executed against
+// several constraint databases (Theorem 4.7: one decomposition search, many
+// databases).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -29,46 +32,54 @@ func main() {
 	q := hypertree.MustParseQuery(src)
 	fmt.Println("CSP as Boolean CQ:", q)
 
-	w, d, err := hypertree.HypertreeWidth(q)
+	// Compile once: the exponential-in-k decomposition search happens here.
+	start := time.Now()
+	plan, err := hypertree.Compile(q, hypertree.WithStrategy(hypertree.StrategyHypertree))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("constraint hypergraph: hw = %d (%d constraints, %d variables)\n",
-		w, len(q.Atoms), q.NumVars())
+	fmt.Printf("constraint hypergraph: hw = %d (%d constraints, %d variables), compiled in %v\n",
+		plan.Width(), len(q.Atoms), q.NumVars(), time.Since(start).Round(time.Microsecond))
 
-	// The constraint relation: inequality over 3 colours.
-	db := hypertree.NewDatabase()
+	ctx := context.Background()
+
+	// Database 1: inequality over 3 colours.
+	db3 := hypertree.NewDatabase()
 	colors := []string{"red", "green", "blue"}
 	for _, a := range colors {
 		for _, b := range colors {
 			if a != b {
-				db.AddFact("neq", a, b)
+				db3.AddFact("neq", a, b)
 			}
 		}
 	}
-
-	start := time.Now()
-	ok, _, err := hypertree.EvaluateWith(db, q, d)
+	start = time.Now()
+	ok, err := plan.ExecuteBoolean(ctx, db3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("3-colourable: %v  (decided in %v via the decomposition)\n", ok, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("3-colourable: %v  (decided in %v via the precompiled plan)\n", ok, time.Since(start).Round(time.Microsecond))
+
+	// Database 2, same plan: two colours are not enough on an odd cycle.
+	db2 := hypertree.NewDatabase()
+	db2.AddFact("neq", "red", "green")
+	db2.AddFact("neq", "green", "red")
+	start = time.Now()
+	ok2, err := plan.ExecuteBoolean(ctx, db2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-colourable: %v (odd cycle; same plan, no new search, %v)\n", ok2, time.Since(start).Round(time.Microsecond))
 
 	// Solution extraction: ask for a colouring of three adjacent vertices.
 	qSol := hypertree.MustParseQuery(`ans(X0, X1, X2) :- ` + src + `.`)
-	_, tab, err := hypertree.Evaluate(db, qSol, hypertree.StrategyHypertree)
+	planSol, err := hypertree.Compile(qSol, hypertree.WithStrategy(hypertree.StrategyHypertree))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab, err := planSol.Execute(ctx, db3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("colourings of the first three vertices: %d\n", tab.Rows())
-
-	// Two colours are not enough on an odd cycle.
-	db2 := hypertree.NewDatabase()
-	db2.AddFact("neq", "red", "green")
-	db2.AddFact("neq", "green", "red")
-	ok2, _, err := hypertree.EvaluateWith(db2, q, d)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("2-colourable: %v (odd cycle)\n", ok2)
 }

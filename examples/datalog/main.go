@@ -1,16 +1,17 @@
 // Datalog: the Appendix B decision procedure. Encodes "hw(Q) ≤ k" as the
 // paper's weakly stratified Datalog program, solves it under the
 // well-founded semantics, extracts a decomposition from the model, and
-// cross-checks everything against the Section 5 k-decomp algorithm.
+// cross-checks everything against the public Compile API (whose width
+// budget runs the Section 5 k-decomp algorithm).
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
 	"hypertree"
 	"hypertree/internal/datalog"
-	"hypertree/internal/decomp"
 	"hypertree/internal/gen"
 )
 
@@ -50,7 +51,15 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			want := decomp.Decide(h, k)
+			want := true
+			if _, cerr := hypertree.Compile(tc.q,
+				hypertree.WithStrategy(hypertree.StrategyHypertree),
+				hypertree.WithMaxWidth(k)); cerr != nil {
+				if !errors.Is(cerr, hypertree.ErrWidthExceeded) {
+					log.Fatal(cerr)
+				}
+				want = false
+			}
 			fmt.Printf("  hw ≤ %d: datalog says %-5v  k-decomp says %-5v  (%d facts in the program)\n",
 				k, got, want, len(hp.Program.Rules)-2)
 			if got != want {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -64,7 +65,17 @@ func main() {
 	fmt.Printf("\nnegative instance (D = ∅): hw(Q) = %d ⇒ qw(Q) ≥ %d > 4\n", w, w)
 	fmt.Println("⇒ the width-4 question flips exactly with XC3S satisfiability (Theorem 3.4)")
 
-	_ = hypertree.StrategyAuto // the reduction uses internal packages directly
+	// The same refutation through the public Plan API: compiling the
+	// canonical query of the negative reduction with a width budget of 4
+	// fails with the typed ErrWidthExceeded.
+	cq := hypertree.CanonicalQuery(nred.H)
+	_, err = hypertree.Compile(cq,
+		hypertree.WithStrategy(hypertree.StrategyHypertree),
+		hypertree.WithMaxWidth(4))
+	if !errors.Is(err, hypertree.ErrWidthExceeded) {
+		log.Fatalf("Compile(WithMaxWidth(4)) = %v, want ErrWidthExceeded", err)
+	}
+	fmt.Println("Compile with WithMaxWidth(4) rejects the negative instance: ", err)
 }
 
 func addOne(xs []int) []int {

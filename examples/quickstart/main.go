@@ -1,8 +1,10 @@
-// Quickstart: parse a conjunctive query, inspect its structure, compute a
-// hypertree decomposition, and evaluate it on a small database.
+// Quickstart: parse a conjunctive query, compile it once into a Plan, and
+// execute the plan against a database — the compile-once/execute-many
+// pattern of Theorem 4.7.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,13 +23,16 @@ func main() {
 	fmt.Println("query:   ", q)
 	fmt.Println("acyclic: ", hypertree.IsAcyclic(q)) // false
 
-	w, d, err := hypertree.HypertreeWidth(q)
+	// Compile performs the decomposition search once; the Plan is reusable
+	// and safe for concurrent use.
+	plan, err := hypertree.Compile(q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("hypertree width:", w) // 2
+	fmt.Println("plan:           ", plan)
+	fmt.Println("hypertree width:", plan.Width()) // 2
 	fmt.Println("decomposition ('_' marks projected-out variables):")
-	fmt.Print(hypertree.AtomRepresentation(q, d))
+	fmt.Print(hypertree.AtomRepresentation(q, plan.Decomposition()))
 
 	db := hypertree.NewDatabase()
 	err = db.ParseFacts(`
@@ -39,15 +44,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ok, err := hypertree.EvaluateBoolean(db, q)
+	ctx := context.Background()
+	ok, err := plan.ExecuteBoolean(ctx, db)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Q1 on the database:", ok) // true
 
-	// Non-Boolean variant: who are the students?
+	// Non-Boolean variant: who are the students? Same compile-once shape.
 	q2 := hypertree.MustParseQuery(`ans(S) :- enrolled(S, C, R), teaches(P, C, A), parent(P, S).`)
-	_, table, err := hypertree.Evaluate(db, q2, hypertree.StrategyAuto)
+	plan2, err := hypertree.Compile(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := plan2.Execute(ctx, db)
 	if err != nil {
 		log.Fatal(err)
 	}

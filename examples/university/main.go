@@ -1,9 +1,12 @@
 // University: the full Example 1.1 scenario at scale. Generates a synthetic
-// enrolled/teaches/parent database, runs the cyclic Q1 and the acyclic Q2
-// with every evaluation strategy, and reports agreement and timings.
+// enrolled/teaches/parent database, compiles the cyclic Q1 and the acyclic
+// Q2 into plans under every evaluation strategy, and reports agreement plus
+// compile/execute timings — the compile cost is paid once per query, the
+// execute cost once per database.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,7 +32,11 @@ func main() {
 	// Non-Boolean: list (student, course) pairs witnessing Q1.
 	qList := hypertree.MustParseQuery(
 		`ans(S, C) :- enrolled(S, C, R), teaches(P, C, A), parent(P, S).`)
-	_, tab, err := hypertree.Evaluate(db, qList, hypertree.StrategyHypertree)
+	plan, err := hypertree.Compile(qList, hypertree.WithStrategy(hypertree.StrategyHypertree))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab, err := plan.Execute(context.Background(), db)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,15 +49,23 @@ func runAll(db *hypertree.Database, q *hypertree.Query, strategies []hypertree.S
 		hypertree.StrategyAcyclic:   "yannakakis",
 		hypertree.StrategyHypertree: "hypertree ",
 	}
+	ctx := context.Background()
 	var first bool
 	var have bool
 	for _, s := range strategies {
-		start := time.Now()
-		ok, _, err := hypertree.Evaluate(db, q, s)
+		t0 := time.Now()
+		plan, err := hypertree.Compile(q, hypertree.WithStrategy(s))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %s → %-5v  (%v)\n", names[s], ok, time.Since(start).Round(time.Microsecond))
+		compile := time.Since(t0)
+		t1 := time.Now()
+		ok, err := plan.ExecuteBoolean(ctx, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s → %-5v  (compile %v, execute %v)\n",
+			names[s], ok, compile.Round(time.Microsecond), time.Since(t1).Round(time.Microsecond))
 		if !have {
 			first, have = ok, true
 		} else if ok != first {

@@ -11,18 +11,43 @@
 // machinery, the Appendix B Datalog decision procedure, and query evaluation
 // through decompositions (Lemma 4.6 + Yannakakis).
 //
-// Quick start:
+// # Compile once, execute many
+//
+// The central API is the Plan: Compile performs parsing/analysis and the
+// decomposition search once, Execute runs the resulting skeleton against any
+// database — the amortisation of Theorem 4.7. Plans are immutable and safe
+// for concurrent use:
 //
 //	q, _ := hypertree.ParseQuery(`enrolled(S,C,R), teaches(P,C,A), parent(P,S)`)
-//	w, d, _ := hypertree.HypertreeWidth(q)       // w = 2
-//	fmt.Print(hypertree.AtomRepresentation(q, d)) // Fig. 7 style rendering
+//	plan, _ := hypertree.Compile(q)              // decomposition search runs here, once
+//	fmt.Println(plan.Width())                    // 2
+//	fmt.Print(hypertree.AtomRepresentation(q, plan.Decomposition()))
 //
 //	db := hypertree.NewDatabase()
 //	db.ParseFacts(`enrolled(ann,cs1,jan). teaches(bob,cs1,y). parent(bob,ann).`)
-//	ans, _ := hypertree.EvaluateBoolean(db, q)   // true
+//	ans, _ := plan.ExecuteBoolean(context.Background(), db) // true
+//
+// Compilation is tuned through functional options — WithStrategy,
+// WithMaxWidth, WithWorkers, WithStepBudget — and the decomposition method
+// itself is pluggable through WithDecomposer: KDecomposer (Section 5),
+// ParallelKDecomposer (the LOGCFL-inspired parallel search) and
+// QueryDecomposer (Definition 3.1) ship with the package, and future
+// greedy/GHD strategies implement the same Decomposer interface. Long
+// searches are cancellable: CompileContext and Execute observe their
+// context's cancellation and deadline. A PlanCache (see DefaultPlanCache)
+// keyed by the canonical query form makes repeated compilation of
+// α-equivalent queries free.
+//
+// # Deprecated one-shot API
+//
+// Evaluate, EvaluateBoolean and EvaluateWith predate the Plan API. They
+// remain as thin wrappers (Evaluate compiles through DefaultPlanCache, so
+// repeated calls no longer re-run the width search) but new code should
+// compile once and execute the Plan.
 package hypertree
 
 import (
+	"context"
 	"fmt"
 
 	"hypertree/internal/cq"
@@ -32,7 +57,6 @@ import (
 	"hypertree/internal/jointree"
 	"hypertree/internal/querydecomp"
 	"hypertree/internal/relation"
-	"hypertree/internal/yannakakis"
 )
 
 // Core re-exported types. A Decomposition carries the hypergraph it
@@ -80,6 +104,11 @@ func QueryHypergraph(q *Query) *Hypergraph {
 // (Appendix A, Definition A.2).
 func CanonicalQuery(h *Hypergraph) *Query { return cq.CanonicalQuery(h) }
 
+// CanonicalForm returns the canonical key of a query used by PlanCache:
+// invariant under variable renaming. Atom order is significant — answer
+// tables carry the compiled query's variable IDs, which depend on it.
+func CanonicalForm(q *Query) string { return cq.CanonicalForm(q) }
+
 // IsAcyclic reports whether the query is acyclic (has a join tree).
 func IsAcyclic(q *Query) bool { return jointree.IsAcyclic(QueryHypergraph(q)) }
 
@@ -89,8 +118,15 @@ func QueryJoinTree(q *Query) (*JoinTree, bool) { return jointree.GYO(QueryHyperg
 
 // HypertreeWidth computes hw(Q) and an optimal normal-form decomposition
 // using the k-decomp algorithm of Section 5.
+//
+// Deprecated: compile a plan instead — Compile(q,
+// WithStrategy(StrategyHypertree)) exposes the same decomposition through
+// Plan.Width and Plan.Decomposition, cancellably and cached.
 func HypertreeWidth(q *Query) (int, *Decomposition, error) {
-	w, d := decomp.Width(QueryHypergraph(q))
+	w, d, err := decomp.WidthContext(context.Background(), QueryHypergraph(q), 0)
+	if err != nil {
+		return 0, nil, fmt.Errorf("hypertree: internal error: %w", err)
+	}
 	if err := d.Validate(); err != nil {
 		return 0, nil, fmt.Errorf("hypertree: internal error: %w", err)
 	}
@@ -102,19 +138,23 @@ func HypertreeWidth(q *Query) (int, *Decomposition, error) {
 func HypergraphWidth(h *Hypergraph) (int, *Decomposition) { return decomp.Width(h) }
 
 // DecideWidth reports whether hw(Q) ≤ k, in polynomial time for fixed k
-// (Theorem 5.16).
-func DecideWidth(q *Query, k int) bool { return decomp.Decide(QueryHypergraph(q), k) }
+// (Theorem 5.16). It returns ErrInvalidWidth for k < 1.
+func DecideWidth(q *Query, k int) (bool, error) {
+	return decomp.DecideContext(context.Background(), QueryHypergraph(q), k)
+}
 
-// Decompose returns a width-≤k normal-form hypertree decomposition of Q, or
-// nil if hw(Q) > k.
-func Decompose(q *Query, k int) *Decomposition { return decomp.Decompose(QueryHypergraph(q), k) }
+// Decompose returns a width-≤k normal-form hypertree decomposition of Q. It
+// returns ErrWidthExceeded if hw(Q) > k and ErrInvalidWidth for k < 1.
+func Decompose(q *Query, k int) (*Decomposition, error) {
+	return decomp.DecomposeContext(context.Background(), QueryHypergraph(q), k, 0)
+}
 
 // DecomposeParallel is Decompose with the root-level guesses of the
 // alternating algorithm distributed over worker goroutines (the operational
 // reading of the LOGCFL parallelizability statement; workers ≤ 0 means
 // GOMAXPROCS).
-func DecomposeParallel(q *Query, k, workers int) *Decomposition {
-	return decomp.ParallelDecompose(QueryHypergraph(q), k, workers)
+func DecomposeParallel(q *Query, k, workers int) (*Decomposition, error) {
+	return decomp.ParallelDecomposeContext(context.Background(), QueryHypergraph(q), k, workers, 0)
 }
 
 // ValidateHD checks the four conditions of Definition 4.1.
@@ -161,7 +201,7 @@ func QueryWidth(q *Query) (int, *Decomposition, error) {
 	return w, d, nil
 }
 
-// Strategy selects how Evaluate runs a query.
+// Strategy selects how a query is evaluated.
 type Strategy int
 
 const (
@@ -178,72 +218,42 @@ const (
 )
 
 // Evaluate runs q against db: Boolean queries yield Boolean, others the
-// answer Table over the head variables.
+// answer Table over the head variables. Plans are obtained through
+// DefaultPlanCache, so repeated evaluation of the same (or an α-equivalent)
+// query reuses the decomposition.
+//
+// Deprecated: compile once with Compile and call Plan.Execute — it
+// separates the exponential search from per-database work and accepts a
+// context.
 func Evaluate(db *Database, q *Query, strategy Strategy) (bool, *Table, error) {
-	if strategy == StrategyAuto {
-		if IsAcyclic(q) {
-			strategy = StrategyAcyclic
-		} else {
-			strategy = StrategyHypertree
-		}
+	p, err := DefaultPlanCache.Compile(context.Background(), q, WithStrategy(strategy))
+	if err != nil {
+		return false, nil, err
 	}
-	switch strategy {
-	case StrategyNaive:
-		t, err := hdeval.NaiveJoin(db, q)
-		if err != nil {
-			return false, nil, err
-		}
-		return !t.Empty(), t, nil
-	case StrategyAcyclic:
-		jt, ok := QueryJoinTree(q)
-		if !ok {
-			return false, nil, fmt.Errorf("hypertree: StrategyAcyclic on a cyclic query")
-		}
-		if jt == nil { // no atoms with variables: only ground atoms
-			ok, err := yannakakis.GroundAtomsHold(db, q)
-			return ok, boolTable(ok), err
-		}
-		root, err := yannakakis.FromJoinTree(db, q, jt)
-		if err != nil {
-			return false, nil, err
-		}
-		if q.IsBoolean() {
-			b := yannakakis.Boolean(root)
-			return b, boolTable(b), nil
-		}
-		head := q.HeadVars().Elems()
-		t := yannakakis.Enumerate(root, head)
-		return !t.Empty(), t, nil
-	case StrategyHypertree:
-		h := QueryHypergraph(q)
-		if h.NumEdges() == 0 {
-			ok, err := yannakakis.GroundAtomsHold(db, q)
-			return ok, boolTable(ok), err
-		}
-		_, d := decomp.Width(h)
-		if q.IsBoolean() {
-			b, err := hdeval.Boolean(db, q, d)
-			return b, boolTable(b), err
-		}
-		t, err := hdeval.Enumerate(db, q, d)
-		if err != nil {
-			return false, nil, err
-		}
-		return !t.Empty(), t, nil
-	default:
-		return false, nil, fmt.Errorf("hypertree: unknown strategy %d", strategy)
+	t, err := p.Execute(context.Background(), db)
+	if err != nil {
+		return false, nil, err
 	}
+	return !t.Empty(), t, nil
 }
 
 // EvaluateBoolean decides a Boolean query with the automatic strategy.
+//
+// Deprecated: compile once with Compile and call Plan.ExecuteBoolean.
 func EvaluateBoolean(db *Database, q *Query) (bool, error) {
-	b, _, err := Evaluate(db, q, StrategyAuto)
-	return b, err
+	p, err := DefaultPlanCache.Compile(context.Background(), q)
+	if err != nil {
+		return false, err
+	}
+	return p.ExecuteBoolean(context.Background(), db)
 }
 
 // EvaluateWith evaluates through a caller-supplied hypertree decomposition
 // (useful when the decomposition is reused across databases, the setting of
 // Theorem 4.7).
+//
+// Deprecated: Compile with a fixed Decomposer (or the defaults) and reuse
+// the Plan; it precomputes the evaluation skeleton as well.
 func EvaluateWith(db *Database, q *Query, d *Decomposition) (bool, *Table, error) {
 	if q.IsBoolean() {
 		b, err := hdeval.Boolean(db, q, d)

@@ -1,6 +1,7 @@
 package hypertree
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -103,27 +104,36 @@ func TestFacadeEvaluateWith(t *testing.T) {
 	db := NewDatabase()
 	db.ParseFacts(`r(a,b). s(b,c). t(c,a).`)
 	q := MustParseQuery(`r(X,Y), s(Y,Z), t(Z,X)`)
-	d := Decompose(q, 2)
-	if d == nil {
-		t.Fatal("triangle has hw 2")
+	d, err := Decompose(q, 2)
+	if err != nil {
+		t.Fatalf("triangle has hw 2: %v", err)
 	}
 	ok, _, err := EvaluateWith(db, q, d)
 	if err != nil || !ok {
 		t.Fatalf("triangle closed: ok=%v err=%v", ok, err)
 	}
+	if _, err := Decompose(q, 0); !errors.Is(err, ErrInvalidWidth) {
+		t.Fatalf("Decompose(q, 0) = %v, want ErrInvalidWidth", err)
+	}
 }
 
 func TestFacadeParallel(t *testing.T) {
 	q := MustParseQuery(gen.Q5Src)
-	d := DecomposeParallel(q, 2, 4)
-	if d == nil {
-		t.Fatal("hw(Q5) = 2")
+	d, err := DecomposeParallel(q, 2, 4)
+	if err != nil {
+		t.Fatalf("hw(Q5) = 2: %v", err)
 	}
 	if err := ValidateHD(d); err != nil {
 		t.Fatal(err)
 	}
-	if DecomposeParallel(q, 1, 4) != nil {
-		t.Fatal("Q5 is cyclic")
+	if _, err := DecomposeParallel(q, 1, 4); !errors.Is(err, ErrWidthExceeded) {
+		t.Fatalf("Q5 is cyclic: want ErrWidthExceeded, got %v", err)
+	}
+	if _, err := DecomposeParallel(q, 0, 4); !errors.Is(err, ErrInvalidWidth) {
+		t.Fatalf("k=0: want ErrInvalidWidth, got %v", err)
+	}
+	if ok, err := DecideWidth(q, 2); err != nil || !ok {
+		t.Fatalf("DecideWidth(Q5, 2) = %v, %v", ok, err)
 	}
 }
 

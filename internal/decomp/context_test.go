@@ -1,0 +1,80 @@
+package decomp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestDecideContextCancelled(t *testing.T) {
+	h := hg(`r(X,Y), s(Y,Z), t(Z,X)`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DecideContext(ctx, h, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := DecomposeContext(ctx, h, 2, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, _, err := WidthContext(ctx, h, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := ParallelDecomposeContext(ctx, h, 2, 2, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel err = %v, want context.Canceled", err)
+	}
+}
+
+func TestContextTypedErrors(t *testing.T) {
+	h := hg(`r(X,Y), s(Y,Z), t(Z,X)`)
+	ctx := context.Background()
+	if _, err := DecomposeContext(ctx, h, 0, 0); !errors.Is(err, ErrInvalidWidth) {
+		t.Fatalf("k=0: err = %v, want ErrInvalidWidth", err)
+	}
+	if _, err := ParallelDecomposeContext(ctx, h, 0, 2, 0); !errors.Is(err, ErrInvalidWidth) {
+		t.Fatalf("parallel k=0: err = %v, want ErrInvalidWidth", err)
+	}
+	if ok, err := ParallelDecideContext(ctx, h, 1, 2, 0); err != nil || ok {
+		t.Fatalf("triangle hw=2: got ok=%v err=%v at k=1", ok, err)
+	}
+	if _, err := DecomposeContext(ctx, h, 1, 0); !errors.Is(err, ErrWidthExceeded) {
+		t.Fatalf("k=1: err = %v, want ErrWidthExceeded", err)
+	}
+	d, err := DecomposeContext(ctx, h, 2, 0)
+	if err != nil {
+		t.Fatalf("k=2: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepBudgetCutsSearchOff(t *testing.T) {
+	h := hg(`a(X1,X2), b(X2,X3), c(X3,X4), d(X4,X1), e(X1,X3), f(X2,X4)`)
+	ctx := context.Background()
+	if _, err := DecomposeContext(ctx, h, 2, 1); !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("budget 1: err = %v, want ErrStepBudget", err)
+	}
+	if _, _, err := WidthContext(ctx, h, 2); !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("width budget 2: err = %v, want ErrStepBudget", err)
+	}
+	// a generous budget must not change the result
+	w, d, err := WidthContext(ctx, h, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Width(h)
+	if w != want || d == nil {
+		t.Fatalf("budgeted width = %d, want %d", w, want)
+	}
+}
+
+// ParallelDecide no longer panics on an invalid width bound (it used to).
+func TestParallelDecideInvalidWidthNoPanic(t *testing.T) {
+	h := hg(`r(X,Y)`)
+	if ParallelDecide(h, 0, 2) {
+		t.Fatal("k=0 must report false")
+	}
+	if ParallelDecompose(h, 0, 2) != nil {
+		t.Fatal("k=0 must report nil")
+	}
+}

@@ -1,10 +1,28 @@
 package decomp
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/hypergraph"
+)
+
+// Sentinel errors of the decomposition search. The exported context-aware
+// entry points (DecideContext, DecomposeContext, WidthContext and the
+// parallel counterparts) report failures through these instead of panicking,
+// so the public API can surface typed errors.
+var (
+	// ErrInvalidWidth reports a width bound k < 1.
+	ErrInvalidWidth = errors.New("decomp: width bound must be ≥ 1")
+	// ErrWidthExceeded reports that no decomposition exists within the
+	// width bound: the search completed and proved hw(H) > k.
+	ErrWidthExceeded = errors.New("decomp: hypertree width exceeds the bound")
+	// ErrStepBudget reports that the search was cut off by a step budget
+	// before completing; the result is neither a yes nor a proven no.
+	ErrStepBudget = errors.New("decomp: step budget exhausted before the search completed")
 )
 
 // The deterministic realisation of the alternating algorithm k-decomp
@@ -42,8 +60,16 @@ type Decider struct {
 	// parents with equal frontiers no longer share their result.
 	FullSeparatorKey bool
 
-	memo map[string]*memoEntry
-	stop func() bool // optional cooperative cancellation; nil = never
+	// MaxGuesses bounds the number of candidate sets S tested (the GuessOps
+	// counter); 0 means unlimited. When the budget runs out the search stops
+	// early and OverBudget reports true — the outcome is then neither a yes
+	// nor a proven no.
+	MaxGuesses int
+
+	memo          map[string]*memoEntry
+	stop          func() bool   // optional cooperative cancellation; nil = never
+	sharedGuesses *atomic.Int64 // spent-guess counter shared across deciders (parallel search)
+	over          bool          // step budget exhausted
 
 	// Stats, maintained during Decide/Decompose.
 	Calls    int // distinct (component, frontier) subproblems solved
@@ -64,7 +90,54 @@ func NewDecider(h *hypergraph.Hypergraph, k int) *Decider {
 	return &Decider{H: h, K: k, memo: map[string]*memoEntry{}}
 }
 
-func (d *Decider) stopped() bool { return d.stop != nil && d.stop() }
+// NewDeciderContext is NewDecider with cooperative cancellation: the search
+// polls ctx and aborts promptly once it is cancelled. A width bound k < 1
+// yields ErrInvalidWidth instead of a panic.
+func NewDeciderContext(ctx context.Context, h *hypergraph.Hypergraph, k int) (*Decider, error) {
+	if k < 1 {
+		return nil, ErrInvalidWidth
+	}
+	d := NewDecider(h, k)
+	d.stop = ctxStop(ctx)
+	return d, nil
+}
+
+// ctxStop adapts a context to the Decider's cooperative stop hook; contexts
+// that can never be cancelled cost nothing.
+func ctxStop(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	done := ctx.Done()
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// Err reports why the last Decide/Decompose stopped early: the context's
+// error if it was cancelled, ErrStepBudget if MaxGuesses ran out, nil if the
+// search ran to completion.
+func (d *Decider) Err(ctx context.Context) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if d.over {
+		return ErrStepBudget
+	}
+	return nil
+}
+
+// OverBudget reports whether the MaxGuesses step budget cut the search off.
+func (d *Decider) OverBudget() bool { return d.over }
+
+func (d *Decider) stopped() bool { return d.over || (d.stop != nil && d.stop()) }
 
 func (d *Decider) rootComponent() hypergraph.Component {
 	return hypergraph.Component{
@@ -158,6 +231,16 @@ func (d *Decider) search(c hypergraph.Component, frontier bitset.Set, cands []in
 	}
 	if len(chosen) > 0 {
 		d.GuessOps++
+		if d.MaxGuesses > 0 {
+			spent := int64(d.GuessOps)
+			if d.sharedGuesses != nil {
+				spent = d.sharedGuesses.Add(1)
+			}
+			if spent > int64(d.MaxGuesses) {
+				d.over = true
+				return false
+			}
+		}
 		if frontier.SubsetOf(varS) && varS.Intersects(c.Vertices) && d.checkChildren(c, varS) {
 			*found = append([]int(nil), chosen...)
 			return true
@@ -243,6 +326,87 @@ func Width(h *hypergraph.Hypergraph) (int, *Decomposition) {
 		}
 		if k > h.NumEdges() {
 			panic(fmt.Sprintf("decomp: width search exceeded edge count %d", h.NumEdges()))
+		}
+	}
+}
+
+// DecideContext is Decide with cancellation: it reports whether hw(H) ≤ k,
+// or ctx.Err() if the context is cancelled mid-search.
+func DecideContext(ctx context.Context, h *hypergraph.Hypergraph, k int) (bool, error) {
+	if h.NumEdges() == 0 {
+		if k < 1 {
+			return false, ErrInvalidWidth
+		}
+		return true, nil
+	}
+	d, err := NewDeciderContext(ctx, h, k)
+	if err != nil {
+		return false, err
+	}
+	ok := d.Decide()
+	if err := d.Err(ctx); err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// DecomposeContext is Decompose with cancellation and a step budget
+// (maxGuesses candidate sets tested; 0 = unlimited). It returns
+// ErrWidthExceeded when the completed search proves hw(H) > k,
+// ErrStepBudget when the budget ran out first, and ctx.Err() on
+// cancellation.
+func DecomposeContext(ctx context.Context, h *hypergraph.Hypergraph, k, maxGuesses int) (*Decomposition, error) {
+	if h.NumEdges() == 0 {
+		if k < 1 {
+			return nil, ErrInvalidWidth
+		}
+		return &Decomposition{H: h}, nil
+	}
+	d, err := NewDeciderContext(ctx, h, k)
+	if err != nil {
+		return nil, err
+	}
+	d.MaxGuesses = maxGuesses
+	dec := d.Decompose()
+	if err := d.Err(ctx); err != nil {
+		return nil, err
+	}
+	if dec == nil {
+		return nil, ErrWidthExceeded
+	}
+	return dec, nil
+}
+
+// WidthContext is Width with cancellation and a cumulative step budget
+// shared across the increasing-k iterations (0 = unlimited).
+func WidthContext(ctx context.Context, h *hypergraph.Hypergraph, maxGuesses int) (int, *Decomposition, error) {
+	if h.NumEdges() == 0 {
+		return 0, &Decomposition{H: h}, nil
+	}
+	spent := 0
+	for k := 1; ; k++ {
+		budget := 0
+		if maxGuesses > 0 {
+			budget = maxGuesses - spent
+			if budget <= 0 {
+				return 0, nil, ErrStepBudget
+			}
+		}
+		d, err := NewDeciderContext(ctx, h, k)
+		if err != nil {
+			return 0, nil, err
+		}
+		d.MaxGuesses = budget
+		dec := d.Decompose()
+		spent += d.GuessOps
+		if err := d.Err(ctx); err != nil {
+			return 0, nil, err
+		}
+		if dec != nil {
+			return k, dec, nil
+		}
+		if k > h.NumEdges() {
+			return 0, nil, fmt.Errorf("decomp: width search exceeded edge count %d", h.NumEdges())
 		}
 	}
 }

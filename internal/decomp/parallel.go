@@ -1,6 +1,8 @@
 package decomp
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,28 +19,80 @@ import (
 // the speedup factor is hardware-dependent and not a number from the paper.
 
 // ParallelDecide reports whether hw(H) ≤ k using the given number of worker
-// goroutines (≤ 0 selects GOMAXPROCS).
+// goroutines (≤ 0 selects GOMAXPROCS). An invalid width bound reports false.
 func ParallelDecide(h *hypergraph.Hypergraph, k int, workers int) bool {
-	dec, _ := parallelSearch(h, k, workers)
-	return dec
+	ok, err := ParallelDecideContext(context.Background(), h, k, workers, 0)
+	return err == nil && ok
 }
 
 // ParallelDecompose returns a width-≤k NF hypertree decomposition computed
-// with the given number of workers, or nil if hw(H) > k.
+// with the given number of workers, or nil if hw(H) > k or k is invalid.
 func ParallelDecompose(h *hypergraph.Hypergraph, k int, workers int) *Decomposition {
-	ok, d := parallelSearch(h, k, workers)
-	if !ok {
+	d, err := ParallelDecomposeContext(context.Background(), h, k, workers, 0)
+	if err != nil {
 		return nil
 	}
 	return d
 }
 
-func parallelSearch(h *hypergraph.Hypergraph, k int, workers int) (bool, *Decomposition) {
+// ParallelDecideContext reports whether hw(H) ≤ k with the root-level
+// guesses distributed over workers goroutines. It returns ErrInvalidWidth
+// for k < 1, ErrStepBudget when the cross-worker budget of maxGuesses
+// candidate sets (0 = unlimited) runs out, and ctx.Err() if cancelled
+// before a witness was found.
+func ParallelDecideContext(ctx context.Context, h *hypergraph.Hypergraph, k, workers, maxGuesses int) (bool, error) {
+	var counter atomic.Int64
+	_, err := parallelSearch(ctx, h, k, workers, maxGuesses, &counter)
+	if err == ErrWidthExceeded {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ParallelDecomposeContext is ParallelDecompose with cancellation, a
+// cross-worker step budget (maxGuesses candidate sets tested in total;
+// 0 = unlimited) and typed errors: ErrInvalidWidth for k < 1,
+// ErrWidthExceeded when hw(H) > k, ErrStepBudget when the budget ran out,
+// or ctx.Err() on cancellation.
+func ParallelDecomposeContext(ctx context.Context, h *hypergraph.Hypergraph, k, workers, maxGuesses int) (*Decomposition, error) {
+	var counter atomic.Int64
+	return parallelSearch(ctx, h, k, workers, maxGuesses, &counter)
+}
+
+// ParallelWidthContext minimises the width with the parallel search,
+// sharing one cumulative step budget across the increasing-k iterations
+// (mirroring WidthContext).
+func ParallelWidthContext(ctx context.Context, h *hypergraph.Hypergraph, workers, maxGuesses int) (int, *Decomposition, error) {
+	if h.NumEdges() == 0 {
+		return 0, &Decomposition{H: h}, nil
+	}
+	var counter atomic.Int64
+	for k := 1; ; k++ {
+		d, err := parallelSearch(ctx, h, k, workers, maxGuesses, &counter)
+		if err == nil {
+			return k, d, nil
+		}
+		if err != ErrWidthExceeded {
+			return 0, nil, err
+		}
+		if k > h.NumEdges() {
+			return 0, nil, fmt.Errorf("decomp: width search exceeded edge count %d", h.NumEdges())
+		}
+	}
+}
+
+// parallelSearch distributes root candidates over workers. counter is the
+// shared spent-guess count backing the maxGuesses budget; passing it in
+// lets ParallelWidthContext keep one budget across width bounds.
+func parallelSearch(ctx context.Context, h *hypergraph.Hypergraph, k, workers, maxGuesses int, counter *atomic.Int64) (*Decomposition, error) {
 	if k < 1 {
-		panic("decomp: width bound must be ≥ 1")
+		return nil, ErrInvalidWidth
 	}
 	if h.NumEdges() == 0 {
-		return true, &Decomposition{H: h}
+		return &Decomposition{H: h}, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -49,6 +103,13 @@ func parallelSearch(h *hypergraph.Hypergraph, k int, workers int) (bool, *Decomp
 
 	tasks := make(chan []int)
 	var stop atomic.Bool
+	cancelled := ctxStop(ctx)
+	overBudget := func() bool {
+		return maxGuesses > 0 && counter.Load() > int64(maxGuesses)
+	}
+	halt := func() bool {
+		return stop.Load() || overBudget() || (cancelled != nil && cancelled())
+	}
 	type result struct {
 		dec    *Decider
 		lambda []int
@@ -61,13 +122,15 @@ func parallelSearch(h *hypergraph.Hypergraph, k int, workers int) (bool, *Decomp
 		go func() {
 			defer wg.Done()
 			d := NewDecider(h, k)
-			d.stop = stop.Load
+			d.stop = halt
+			d.MaxGuesses = maxGuesses
+			d.sharedGuesses = counter
 			for lambda := range tasks {
-				if stop.Load() {
+				if halt() {
 					continue // drain
 				}
 				varS := h.VarsOfList(lambda)
-				if d.checkChildren(rootComp, varS) && !stop.Load() {
+				if d.checkChildren(rootComp, varS) && !halt() {
 					r := &result{dec: d, lambda: append([]int(nil), lambda...)}
 					if winner.CompareAndSwap(nil, r) {
 						stop.Store(true)
@@ -83,7 +146,7 @@ func parallelSearch(h *hypergraph.Hypergraph, k int, workers int) (bool, *Decomp
 	m := h.NumEdges()
 	var gen func(from int, chosen []int)
 	gen = func(from int, chosen []int) {
-		if stop.Load() {
+		if halt() {
 			return
 		}
 		if len(chosen) > 0 {
@@ -102,9 +165,18 @@ func parallelSearch(h *hypergraph.Hypergraph, k int, workers int) (bool, *Decomp
 
 	r := winner.Load()
 	if r == nil {
-		return false, nil
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if overBudget() {
+			return nil, ErrStepBudget
+		}
+		return nil, ErrWidthExceeded
 	}
-	// Build the decomposition from the winning worker's memo.
+	// Build the decomposition from the winning worker's memo. The winner ran
+	// to completion on its candidate, so its memo is fully decided; clear the
+	// stop hook so the rebuild cannot be interrupted.
+	r.dec.stop = nil
 	lambda := bitset.FromSlice(r.lambda)
 	varS := h.Vars(lambda)
 	root := &Node{Chi: varS.Intersect(all), Lambda: lambda}
@@ -114,5 +186,5 @@ func parallelSearch(h *hypergraph.Hypergraph, k int, workers int) (bool, *Decomp
 		}
 		root.Children = append(root.Children, r.dec.build(child, h.Frontier(child, varS), nil, root.Chi))
 	}
-	return true, &Decomposition{H: h, Root: root}
+	return &Decomposition{H: h, Root: root}, nil
 }

@@ -4,10 +4,16 @@
 // as the projection onto χ(p) of the join of the relations in λ(p) — a table
 // of size O(r^k) — and the decomposition tree becomes a join tree of an
 // acyclic instance evaluated with Yannakakis' algorithm (Theorems 4.7, 4.8).
-// A naive join baseline is provided for the evaluation experiments.
+//
+// The Evaluator type is the compile-once form of the construction: the
+// decomposition completion (Lemma 4.4), the edge→atom mapping and the head
+// variables are computed once, and the resulting skeleton can then be
+// executed against any database, concurrently and under a context. A naive
+// join baseline is provided for the evaluation experiments.
 package hdeval
 
 import (
+	"context"
 	"fmt"
 
 	"hypertree/internal/cq"
@@ -16,41 +22,93 @@ import (
 	"hypertree/internal/yannakakis"
 )
 
-// FromDecomposition performs the Lemma 4.6 construction. The decomposition
-// is completed first (Lemma 4.4), so every atom contributes its relation.
-// Ground atoms of the query (variable-free, hence absent from H(Q)) are
-// evaluated separately and, if false, empty the root.
-func FromDecomposition(db *relation.Database, q *cq.Query, hd *decomp.Decomposition) (*yannakakis.Node, error) {
-	if hd == nil || hd.Root == nil {
+// Evaluator is the precomputed, database-independent part of the Lemma 4.6
+// evaluation: a completed decomposition plus the query analysis needed to
+// bind relations. An Evaluator is immutable after construction and safe for
+// concurrent use by multiple goroutines (the setting of Theorem 4.7, where
+// one decomposition is amortised across many databases).
+type Evaluator struct {
+	Q  *cq.Query
+	HD *decomp.Decomposition // completed per Lemma 4.4
+
+	edgeToAtom []int
+	head       []int
+	chiElems   map[*decomp.Node][]int
+}
+
+// NewEvaluator analyses q and completes hd once, returning the reusable
+// evaluation skeleton. The head variables are validated here, so execution
+// can no longer fail on an unsafe head.
+func NewEvaluator(q *cq.Query, hd *decomp.Decomposition) (*Evaluator, error) {
+	if hd == nil || hd.H == nil || (hd.Root == nil && hd.H.NumEdges() > 0) {
 		return nil, fmt.Errorf("hdeval: nil decomposition")
+	}
+	head, err := HeadVars(q)
+	if err != nil {
+		return nil, err
 	}
 	complete := hd.Complete()
 	_, edgeToAtom := q.Hypergraph()
+	e := &Evaluator{
+		Q:          q,
+		HD:         complete,
+		edgeToAtom: edgeToAtom,
+		head:       head,
+		chiElems:   map[*decomp.Node][]int{},
+	}
+	for _, n := range complete.Nodes() {
+		e.chiElems[n] = n.Chi.Elems()
+	}
+	return e, nil
+}
 
-	atomTables := map[int]*relation.Table{} // edge id -> bound table
-	bind := func(e int) (*relation.Table, error) {
-		if t, ok := atomTables[e]; ok {
-			return t, nil
-		}
-		t, err := yannakakis.BindAtom(db, q, edgeToAtom[e])
+// Head returns the validated head variables of the query.
+func (e *Evaluator) Head() []int { return append([]int(nil), e.head...) }
+
+// Root materialises the acyclic instance of Lemma 4.6 for db: one table per
+// decomposition node (the χ-projection of the λ-join), arranged along the
+// decomposition tree. Ground atoms of the query (variable-free, hence absent
+// from H(Q)) are evaluated separately and, if false, empty the root.
+func (e *Evaluator) Root(ctx context.Context, db *relation.Database) (*yannakakis.Node, error) {
+	if e.HD.Root == nil { // no variable atoms: nothing to materialise
+		ok, err := yannakakis.GroundAtomsHold(db, e.Q)
 		if err != nil {
 			return nil, err
 		}
-		atomTables[e] = t
+		t := relation.TrueTable()
+		if !ok {
+			t = relation.NewTable(nil)
+		}
+		return &yannakakis.Node{Table: t}, nil
+	}
+
+	atomTables := map[int]*relation.Table{} // edge id -> bound table
+	bind := func(e2 int) (*relation.Table, error) {
+		if t, ok := atomTables[e2]; ok {
+			return t, nil
+		}
+		t, err := yannakakis.BindAtom(db, e.Q, e.edgeToAtom[e2])
+		if err != nil {
+			return nil, err
+		}
+		atomTables[e2] = t
 		return t, nil
 	}
 
 	var build func(n *decomp.Node) (*yannakakis.Node, error)
 	build = func(n *decomp.Node) (*yannakakis.Node, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// join the λ relations, then project to χ
 		var joined *relation.Table
 		var err error
-		n.Lambda.ForEach(func(e int) {
+		n.Lambda.ForEach(func(e2 int) {
 			if err != nil {
 				return
 			}
 			var t *relation.Table
-			t, err = bind(e)
+			t, err = bind(e2)
 			if err != nil {
 				return
 			}
@@ -66,8 +124,7 @@ func FromDecomposition(db *relation.Database, q *cq.Query, hd *decomp.Decomposit
 		if joined == nil {
 			return nil, fmt.Errorf("hdeval: decomposition node with empty λ")
 		}
-		chi := n.Chi.Elems()
-		out := &yannakakis.Node{Table: joined.Project(chi)}
+		out := &yannakakis.Node{Table: joined.Project(e.chiElems[n])}
 		for _, c := range n.Children {
 			cn, err := build(c)
 			if err != nil {
@@ -77,11 +134,11 @@ func FromDecomposition(db *relation.Database, q *cq.Query, hd *decomp.Decomposit
 		}
 		return out, nil
 	}
-	root, err := build(complete.Root)
+	root, err := build(e.HD.Root)
 	if err != nil {
 		return nil, err
 	}
-	ok, err := yannakakis.GroundAtomsHold(db, q)
+	ok, err := yannakakis.GroundAtomsHold(db, e.Q)
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +146,39 @@ func FromDecomposition(db *relation.Database, q *cq.Query, hd *decomp.Decomposit
 		root.Table = relation.NewTable(root.Table.Vars)
 	}
 	return root, nil
+}
+
+// Boolean decides the query against db by the bottom-up semijoin pass.
+func (e *Evaluator) Boolean(ctx context.Context, db *relation.Database) (bool, error) {
+	root, err := e.Root(ctx, db)
+	if err != nil {
+		return false, err
+	}
+	return yannakakis.BooleanContext(ctx, root)
+}
+
+// Enumerate computes the full answer relation over the head variables, in
+// time polynomial in input + output (Theorem 4.8). workers > 1 runs the
+// full reducer's independent subtrees on that many goroutines.
+func (e *Evaluator) Enumerate(ctx context.Context, db *relation.Database, workers int) (*relation.Table, error) {
+	root, err := e.Root(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	return yannakakis.EnumerateContext(ctx, root, e.head, workers)
+}
+
+// FromDecomposition performs the Lemma 4.6 construction in one shot; the
+// Evaluator form is preferable when the decomposition is reused.
+func FromDecomposition(db *relation.Database, q *cq.Query, hd *decomp.Decomposition) (*yannakakis.Node, error) {
+	if hd == nil || hd.Root == nil {
+		return nil, fmt.Errorf("hdeval: nil decomposition")
+	}
+	e, err := NewEvaluator(q, hd)
+	if err != nil {
+		return nil, err
+	}
+	return e.Root(context.Background(), db)
 }
 
 // Boolean decides a Boolean query through its hypertree decomposition.
@@ -108,7 +198,7 @@ func Enumerate(db *relation.Database, q *cq.Query, hd *decomp.Decomposition) (*r
 	if err != nil {
 		return nil, err
 	}
-	head, err := headVars(q)
+	head, err := HeadVars(q)
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +209,11 @@ func Enumerate(db *relation.Database, q *cq.Query, hd *decomp.Decomposition) (*r
 // with no decomposition — the baseline whose intermediate results can grow
 // with r^|atoms| on cyclic queries.
 func NaiveJoin(db *relation.Database, q *cq.Query) (*relation.Table, error) {
+	return NaiveJoinContext(context.Background(), db, q)
+}
+
+// NaiveJoinContext is NaiveJoin with cancellation between joins.
+func NaiveJoinContext(ctx context.Context, db *relation.Database, q *cq.Query) (*relation.Table, error) {
 	ok, err := yannakakis.GroundAtomsHold(db, q)
 	if err != nil {
 		return nil, err
@@ -128,6 +223,9 @@ func NaiveJoin(db *relation.Database, q *cq.Query) (*relation.Table, error) {
 		acc = relation.NewTable(nil)
 	}
 	for i := range q.Atoms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if q.VarsOf(i).Empty() {
 			continue
 		}
@@ -137,14 +235,16 @@ func NaiveJoin(db *relation.Database, q *cq.Query) (*relation.Table, error) {
 		}
 		acc = acc.Join(t)
 	}
-	head, err := headVars(q)
+	head, err := HeadVars(q)
 	if err != nil {
 		return nil, err
 	}
 	return acc.Project(head), nil
 }
 
-func headVars(q *cq.Query) ([]int, error) {
+// HeadVars returns the distinct head variables of q in head order,
+// validating that each occurs in the body (safety).
+func HeadVars(q *cq.Query) ([]int, error) {
 	var head []int
 	seen := map[int]bool{}
 	if q.Head != nil {

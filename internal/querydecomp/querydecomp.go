@@ -16,6 +16,7 @@
 package querydecomp
 
 import (
+	"context"
 	"fmt"
 
 	"hypertree/internal/bitset"
@@ -106,8 +107,10 @@ type Searcher struct {
 	Steps     int  // trials performed
 	Exhausted bool // true when the search space was fully explored
 
-	claimed []int // per-edge placement count along the current path
-	over    bool
+	claimed   []int // per-edge placement count along the current path
+	over      bool
+	stop      func() bool // optional cooperative cancellation; nil = never
+	cancelled bool        // the stop hook (not the budget) aborted the search
 }
 
 // NewSearcher returns a Searcher for width bound k ≥ 1.
@@ -116,6 +119,43 @@ func NewSearcher(h *hypergraph.Hypergraph, k int) *Searcher {
 		panic("querydecomp: width bound must be ≥ 1")
 	}
 	return &Searcher{H: h, K: k, claimed: make([]int, h.NumEdges())}
+}
+
+// NewSearcherContext is NewSearcher with cooperative cancellation: the
+// search polls ctx between trials and aborts promptly once it is cancelled.
+// A width bound k < 1 yields decomp.ErrInvalidWidth instead of a panic.
+func NewSearcherContext(ctx context.Context, h *hypergraph.Hypergraph, k int) (*Searcher, error) {
+	if k < 1 {
+		return nil, decomp.ErrInvalidWidth
+	}
+	s := NewSearcher(h, k)
+	if ctx != nil && ctx.Done() != nil {
+		done := ctx.Done()
+		s.stop = func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		}
+	}
+	return s, nil
+}
+
+// Err reports why the last Search stopped early: the context's error on
+// cancellation, decomp.ErrStepBudget when MaxSteps ran out, nil when the
+// search ran to completion.
+func (s *Searcher) Err(ctx context.Context) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if s.over && !s.cancelled {
+		return decomp.ErrStepBudget
+	}
+	return nil
 }
 
 // Search looks for a pure query decomposition of width ≤ K. It returns the
@@ -182,6 +222,64 @@ func Width(h *hypergraph.Hypergraph, lower int) (int, *decomp.Decomposition) {
 	}
 }
 
+// SearchContext looks for a pure query decomposition of width ≤ k with
+// cancellation and a step budget. It returns decomp.ErrWidthExceeded when
+// the exhaustive search proves qw(H) > k, decomp.ErrStepBudget when
+// maxSteps ran out first, or ctx.Err() on cancellation.
+func SearchContext(ctx context.Context, h *hypergraph.Hypergraph, k, maxSteps int) (*decomp.Decomposition, error) {
+	s, err := NewSearcherContext(ctx, h, k)
+	if err != nil {
+		return nil, err
+	}
+	s.MaxSteps = maxSteps
+	d, ok := s.Search()
+	if err := s.Err(ctx); err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, decomp.ErrWidthExceeded
+	}
+	return d, nil
+}
+
+// WidthContext is Width with cancellation and a cumulative step budget
+// shared across the increasing-k iterations (0 = unlimited). lower is a
+// known lower bound on qw(H) (1, or hw(H) per Theorem 6.1a).
+func WidthContext(ctx context.Context, h *hypergraph.Hypergraph, lower, maxSteps int) (int, *decomp.Decomposition, error) {
+	if h.NumEdges() == 0 {
+		return 0, &decomp.Decomposition{H: h}, nil
+	}
+	if lower < 1 {
+		lower = 1
+	}
+	spent := 0
+	for k := lower; ; k++ {
+		budget := 0
+		if maxSteps > 0 {
+			budget = maxSteps - spent
+			if budget <= 0 {
+				return 0, nil, decomp.ErrStepBudget
+			}
+		}
+		s, err := NewSearcherContext(ctx, h, k)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.MaxSteps = budget
+		d, ok := s.Search()
+		spent += s.Steps
+		if err := s.Err(ctx); err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			return k, d, nil
+		}
+		if k > h.NumEdges() {
+			return 0, nil, fmt.Errorf("querydecomp: width exceeded edge count")
+		}
+	}
+}
+
 func filterEdgeless(cs []hypergraph.Component) []hypergraph.Component {
 	out := cs[:0:0]
 	for _, c := range cs {
@@ -217,6 +315,10 @@ func (s *Searcher) budget() bool {
 	s.Steps++
 	if s.MaxSteps > 0 && s.Steps > s.MaxSteps {
 		s.over = true
+	}
+	if !s.over && s.stop != nil && s.stop() {
+		s.over = true
+		s.cancelled = true
 	}
 	return s.over
 }

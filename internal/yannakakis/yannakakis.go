@@ -7,8 +7,10 @@
 package yannakakis
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hypertree/internal/cq"
 	"hypertree/internal/jointree"
@@ -28,32 +30,69 @@ type Node struct {
 // query is false, which is represented by semijoining the root with an empty
 // Boolean table.
 func FromJoinTree(db *relation.Database, q *cq.Query, jt *jointree.Tree) (*Node, error) {
+	return FromJoinTreeContext(context.Background(), db, q, jt)
+}
+
+// FromJoinTreeContext is FromJoinTree with cancellation between atom binds.
+func FromJoinTreeContext(ctx context.Context, db *relation.Database, q *cq.Query, jt *jointree.Tree) (*Node, error) {
+	e, err := NewEvaluator(q, jt)
+	if err != nil {
+		return nil, err
+	}
+	return e.Root(ctx, db)
+}
+
+// Evaluator is the precomputed, database-independent part of acyclic
+// evaluation: the join tree plus the query analysis (edge→atom mapping)
+// needed to bind relations. Immutable after construction and safe for
+// concurrent use, so one compiled query can be executed against many
+// databases without re-analysing it.
+type Evaluator struct {
+	Q  *cq.Query
+	JT *jointree.Tree
+
+	edgeToAtom []int
+}
+
+// NewEvaluator analyses q once against its join tree.
+func NewEvaluator(q *cq.Query, jt *jointree.Tree) (*Evaluator, error) {
 	if jt == nil {
 		return nil, fmt.Errorf("yannakakis: nil join tree")
 	}
 	_, edgeToAtom := q.Hypergraph()
-	tables := make([]*relation.Table, len(edgeToAtom))
-	for e, ai := range edgeToAtom {
-		tab, err := BindAtom(db, q, ai)
+	return &Evaluator{Q: q, JT: jt, edgeToAtom: edgeToAtom}, nil
+}
+
+// Root binds each atom of the query to its relation in db and arranges the
+// tables along the join tree. Ground atoms (no variables) act as global
+// filters: if any ground atom has an empty relation the whole query is
+// false, which is represented by emptying the root table.
+func (e *Evaluator) Root(ctx context.Context, db *relation.Database) (*Node, error) {
+	tables := make([]*relation.Table, len(e.edgeToAtom))
+	for i, ai := range e.edgeToAtom {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tab, err := BindAtom(db, e.Q, ai)
 		if err != nil {
 			return nil, err
 		}
-		tables[e] = tab
+		tables[i] = tab
 	}
-	groundTrue, err := GroundAtomsHold(db, q)
+	groundTrue, err := GroundAtomsHold(db, e.Q)
 	if err != nil {
 		return nil, err
 	}
 	nodes := make([]*Node, len(tables))
-	for e, t := range tables {
-		nodes[e] = &Node{Table: t}
+	for i, t := range tables {
+		nodes[i] = &Node{Table: t}
 	}
 	var root *Node
-	for e, p := range jt.Parent {
+	for i, p := range e.JT.Parent {
 		if p < 0 {
-			root = nodes[e]
+			root = nodes[i]
 		} else {
-			nodes[p].Children = append(nodes[p].Children, nodes[e])
+			nodes[p].Children = append(nodes[p].Children, nodes[i])
 		}
 	}
 	if root == nil {
@@ -115,15 +154,32 @@ func GroundAtomsHold(db *relation.Database, q *cq.Query) (bool, error) {
 // is true iff the root table is non-empty after reduction. This is the
 // Boolean Yannakakis algorithm referenced in Section 1.1.
 func Boolean(root *Node) bool {
-	var up func(n *Node) *relation.Table
-	up = func(n *Node) *relation.Table {
+	ok, _ := BooleanContext(context.Background(), root)
+	return ok
+}
+
+// BooleanContext is Boolean with cancellation between semijoins.
+func BooleanContext(ctx context.Context, root *Node) (bool, error) {
+	var up func(n *Node) (*relation.Table, error)
+	up = func(n *Node) (*relation.Table, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := n.Table
 		for _, c := range n.Children {
-			t = t.Semijoin(up(c))
+			ct, err := up(c)
+			if err != nil {
+				return nil, err
+			}
+			t = t.Semijoin(ct)
 		}
-		return t
+		return t, nil
 	}
-	return !up(root).Empty()
+	t, err := up(root)
+	if err != nil {
+		return false, err
+	}
+	return !t.Empty(), nil
 }
 
 // Reduce runs the full reducer in place: an upward semijoin pass followed by
@@ -148,14 +204,76 @@ func Reduce(root *Node) {
 	down(root)
 }
 
+// ReduceContext is Reduce with cancellation between semijoins. On error the
+// tree is left partially reduced (still a superset of the consistent state).
+func ReduceContext(ctx context.Context, root *Node) error {
+	var up func(n *Node) error
+	up = func(n *Node) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := up(c); err != nil {
+				return err
+			}
+			n.Table = n.Table.Semijoin(c.Table)
+		}
+		return nil
+	}
+	var down func(n *Node) error
+	down = func(n *Node) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			c.Table = c.Table.Semijoin(n.Table)
+			if err := down(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := up(root); err != nil {
+		return err
+	}
+	return down(root)
+}
+
 // ParallelReduce is Reduce with the per-level semijoins of independent
 // subtrees running on worker goroutines. Nodes at the same depth have
 // disjoint parents' subtrees, so sibling subtrees reduce concurrently.
 func ParallelReduce(root *Node, workers int) {
+	ParallelReduceContext(context.Background(), root, workers)
+}
+
+// ParallelReduceContext is ParallelReduce with cancellation: once ctx is
+// cancelled no further semijoins start and the context error is returned.
+func ParallelReduceContext(ctx context.Context, root *Node, workers int) error {
 	if workers <= 1 {
-		Reduce(root)
-		return
+		return ReduceContext(ctx, root)
 	}
+	// A watcher goroutine arms the halt flag, so the reduction itself only
+	// pays an atomic load per node instead of a channel select.
+	var halted atomic.Bool
+	if done := ctx.Done(); done != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-done:
+				halted.Store(true)
+			case <-stopWatch:
+			}
+		}()
+	}
+	parallelReduce(root, workers, &halted)
+	if halted.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+func parallelReduce(root *Node, workers int, halted *atomic.Bool) {
 	// The semaphore bounds concurrent table work only; goroutines waiting on
 	// children hold no slot, so deep trees cannot deadlock.
 	sem := make(chan struct{}, workers)
@@ -170,6 +288,9 @@ func ParallelReduce(root *Node, workers int) {
 			}(c)
 		}
 		wg.Wait()
+		if halted.Load() {
+			return
+		}
 		sem <- struct{}{}
 		for _, c := range n.Children {
 			n.Table = n.Table.Semijoin(c.Table)
@@ -178,6 +299,9 @@ func ParallelReduce(root *Node, workers int) {
 	}
 	var down func(n *Node)
 	down = func(n *Node) {
+		if halted.Load() {
+			return
+		}
 		sem <- struct{}{}
 		for _, c := range n.Children {
 			c.Table = c.Table.Semijoin(n.Table)
@@ -203,16 +327,36 @@ func ParallelReduce(root *Node, workers int) {
 // classical guarantee that intermediate results stay polynomial in
 // input + output size (Theorem 4.8 / [Yannakakis 1981]).
 func Enumerate(root *Node, head []int) *relation.Table {
-	Reduce(root)
+	t, _ := EnumerateContext(context.Background(), root, head, 1)
+	return t
+}
+
+// EnumerateContext is Enumerate with cancellation between table operations;
+// workers > 1 runs the full-reducer phase on that many goroutines.
+func EnumerateContext(ctx context.Context, root *Node, head []int, workers int) (*relation.Table, error) {
+	if workers > 1 {
+		if err := ParallelReduceContext(ctx, root, workers); err != nil {
+			return nil, err
+		}
+	} else if err := ReduceContext(ctx, root); err != nil {
+		return nil, err
+	}
 	headSet := map[int]bool{}
 	for _, v := range head {
 		headSet[v] = true
 	}
-	var up func(n *Node) *relation.Table
-	up = func(n *Node) *relation.Table {
+	var up func(n *Node) (*relation.Table, error)
+	up = func(n *Node) (*relation.Table, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := n.Table
 		for _, c := range n.Children {
-			t = t.Join(up(c))
+			ct, err := up(c)
+			if err != nil {
+				return nil, err
+			}
+			t = t.Join(ct)
 		}
 		// keep head variables and the variables of this node (the node's
 		// own vars are what the parent can join on)
@@ -223,12 +367,15 @@ func Enumerate(root *Node, head []int) *relation.Table {
 			}
 		}
 		if len(keep) == len(t.Vars) {
-			return t
+			return t, nil
 		}
-		return t.Project(keep)
+		return t.Project(keep), nil
 	}
-	full := up(root)
-	return full.Project(head)
+	full, err := up(root)
+	if err != nil {
+		return nil, err
+	}
+	return full.Project(head), nil
 }
 
 func tableHasVar(t *relation.Table, v int) bool {

@@ -1,0 +1,339 @@
+package hypertree
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/hdeval"
+	"hypertree/internal/yannakakis"
+)
+
+// A Plan is a compiled conjunctive query: parsing/analysis done, a
+// decomposition (or join tree) chosen, and the evaluation skeleton
+// precomputed. This is the compile-once/execute-many reading of
+// Theorem 4.7 — the exponential-in-k decomposition search is paid once per
+// query and amortised across databases.
+//
+// A Plan is immutable and safe for concurrent use by multiple goroutines:
+// Execute and ExecuteBoolean may be called simultaneously against different
+// (or the same) databases.
+type Plan struct {
+	query      *Query
+	strategy   Strategy // resolved: never StrategyAuto
+	dec        *Decomposition
+	eval       *hdeval.Evaluator     // hypertree-strategy skeleton
+	jt         *JoinTree             // acyclic-strategy join tree (nil if ground-only)
+	yeval      *yannakakis.Evaluator // acyclic-strategy skeleton (nil if ground-only)
+	head       []int
+	workers    int
+	decomposer string
+}
+
+// compileConfig is assembled by the functional options.
+type compileConfig struct {
+	strategy   Strategy
+	maxWidth   int
+	stepBudget int
+	workers    int
+	decomposer Decomposer
+	err        error // first invalid option
+}
+
+// CompileOption is a functional option for Compile.
+type CompileOption func(*compileConfig)
+
+// WithStrategy selects the evaluation strategy (default StrategyAuto:
+// Yannakakis on acyclic queries, a hypertree decomposition otherwise).
+func WithStrategy(s Strategy) CompileOption {
+	return func(c *compileConfig) { c.strategy = s }
+}
+
+// WithMaxWidth sets a width budget k ≥ 1: Compile fails with
+// ErrWidthExceeded instead of producing a plan of width > k. Without it the
+// decomposition search minimises the width.
+func WithMaxWidth(k int) CompileOption {
+	return func(c *compileConfig) {
+		if k < 1 {
+			if c.err == nil {
+				c.err = fmt.Errorf("WithMaxWidth(%d): %w", k, ErrInvalidWidth)
+			}
+			return
+		}
+		c.maxWidth = k
+	}
+}
+
+// WithWorkers sets the parallelism used by the decomposition search (when
+// the decomposer supports it) and by the evaluation-time full reducer
+// (n ≤ 1 = sequential, n ≤ 0 with the parallel decomposer = GOMAXPROCS).
+// Choosing n > 1 without an explicit decomposer selects the parallel
+// k-decomp search.
+func WithWorkers(n int) CompileOption {
+	return func(c *compileConfig) { c.workers = n }
+}
+
+// WithDecomposer plugs in a decomposition strategy (see Decomposer). The
+// default is the sequential k-decomp search, or the parallel one when
+// WithWorkers(n > 1) is given.
+func WithDecomposer(d Decomposer) CompileOption {
+	return func(c *compileConfig) { c.decomposer = d }
+}
+
+// WithStepBudget bounds the number of search steps (candidate separator
+// sets tested) the decomposition search may spend; n ≥ 1. An exhausted
+// budget surfaces as ErrStepBudget from Compile — the NP-hard searches
+// (QueryDecomposer, large k) stay abortable even without a deadline.
+func WithStepBudget(n int) CompileOption {
+	return func(c *compileConfig) {
+		if n < 1 {
+			if c.err == nil {
+				c.err = fmt.Errorf("WithStepBudget(%d): budget must be ≥ 1", n)
+			}
+			return
+		}
+		c.stepBudget = n
+	}
+}
+
+func newCompileConfig(opts []CompileOption) (*compileConfig, error) {
+	cfg := &compileConfig{strategy: StrategyAuto}
+	for _, o := range opts {
+		o(cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	return cfg, nil
+}
+
+// chosenDecomposer resolves the effective decomposition strategy.
+func (c *compileConfig) chosenDecomposer() Decomposer {
+	if c.decomposer != nil {
+		return c.decomposer
+	}
+	if c.workers > 1 {
+		return ParallelKDecomposer()
+	}
+	return KDecomposer()
+}
+
+// Compile analyses q, picks or searches a decomposition once, and
+// precomputes the evaluation skeleton. The returned Plan can be executed
+// against any number of databases, concurrently (Theorem 4.7). Use
+// CompileContext to bound or cancel the decomposition search.
+func Compile(q *Query, opts ...CompileOption) (*Plan, error) {
+	return CompileContext(context.Background(), q, opts...)
+}
+
+// CompileContext is Compile under a context: a cancelled or expired context
+// aborts the decomposition search promptly with ctx.Err().
+func CompileContext(ctx context.Context, q *Query, opts ...CompileOption) (*Plan, error) {
+	cfg, err := newCompileConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return compile(ctx, q, cfg)
+}
+
+func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
+	if q == nil {
+		return nil, fmt.Errorf("hypertree: Compile on a nil query")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	head, err := hdeval.HeadVars(q)
+	if err != nil {
+		return nil, err
+	}
+
+	strategy := cfg.strategy
+	if strategy == StrategyAuto {
+		if IsAcyclic(q) {
+			strategy = StrategyAcyclic
+		} else {
+			strategy = StrategyHypertree
+		}
+	}
+
+	p := &Plan{
+		query:    q,
+		strategy: strategy,
+		head:     head,
+		workers:  cfg.workers,
+	}
+	switch strategy {
+	case StrategyNaive:
+		return p, nil
+	case StrategyAcyclic:
+		jt, ok := QueryJoinTree(q)
+		if !ok {
+			return nil, ErrCyclic
+		}
+		p.jt = jt // nil when the query has only ground atoms
+		if jt != nil {
+			p.yeval, err = yannakakis.NewEvaluator(q, jt)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	case StrategyHypertree:
+		h := QueryHypergraph(q)
+		var dec *Decomposition
+		if h.NumEdges() == 0 {
+			dec = &decomp.Decomposition{H: h}
+		} else {
+			d := cfg.chosenDecomposer()
+			p.decomposer = d.Name()
+			dec, err = d.Decompose(ctx, h, DecomposeRequest{
+				MaxWidth:   cfg.maxWidth,
+				StepBudget: cfg.stepBudget,
+				Workers:    cfg.workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if dec == nil {
+				return nil, fmt.Errorf("hypertree: decomposer %q returned no decomposition and no error", p.decomposer)
+			}
+			if err := dec.Validate(); err != nil {
+				return nil, fmt.Errorf("hypertree: decomposer %q produced an invalid decomposition: %w", p.decomposer, err)
+			}
+		}
+		p.dec = dec
+		p.eval, err = hdeval.NewEvaluator(q, dec)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("hypertree: unknown strategy %d", strategy)
+	}
+}
+
+// Query returns the compiled query.
+func (p *Plan) Query() *Query { return p.query }
+
+// Strategy returns the resolved evaluation strategy (never StrategyAuto).
+func (p *Plan) Strategy() Strategy { return p.strategy }
+
+// Decomposition returns the hypertree decomposition the plan evaluates
+// through, or nil for the naive and acyclic strategies.
+func (p *Plan) Decomposition() *Decomposition { return p.dec }
+
+// JoinTree returns the join tree of an acyclic-strategy plan, nil otherwise
+// (or when the query has only ground atoms).
+func (p *Plan) JoinTree() *JoinTree { return p.jt }
+
+// Width returns the width of the plan's decomposition; 1 for the acyclic
+// strategy (Theorem 4.5: acyclic ⟺ hw = 1) and 0 for the naive strategy,
+// which uses no decomposition.
+func (p *Plan) Width() int {
+	switch {
+	case p.dec != nil:
+		return p.dec.Width()
+	case p.strategy == StrategyAcyclic:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DecomposerName returns the Name of the Decomposer that produced the
+// plan's decomposition ("" when no search ran).
+func (p *Plan) DecomposerName() string { return p.decomposer }
+
+// String summarises the plan.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan{%s", strategyName(p.strategy))
+	if p.dec != nil {
+		fmt.Fprintf(&b, ", width=%d", p.dec.Width())
+	}
+	if p.decomposer != "" {
+		fmt.Fprintf(&b, ", decomposer=%s", p.decomposer)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func strategyName(s Strategy) string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyNaive:
+		return "naive"
+	case StrategyAcyclic:
+		return "acyclic"
+	case StrategyHypertree:
+		return "hypertree"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Execute runs the plan against db and returns the answer table over the
+// head variables (for a Boolean query: the 0-ary true table, or an empty
+// table when the query is false). A cancelled or expired context aborts the
+// evaluation with ctx.Err(). Safe for concurrent use.
+func (p *Plan) Execute(ctx context.Context, db *Database) (*Table, error) {
+	if db == nil {
+		return nil, fmt.Errorf("hypertree: Execute on a nil database")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.query.IsBoolean() {
+		ok, err := p.ExecuteBoolean(ctx, db)
+		if err != nil {
+			return nil, err
+		}
+		return boolTable(ok), nil
+	}
+	switch p.strategy {
+	case StrategyNaive:
+		return hdeval.NaiveJoinContext(ctx, db, p.query)
+	case StrategyAcyclic:
+		root, err := p.yeval.Root(ctx, db)
+		if err != nil {
+			return nil, err
+		}
+		return yannakakis.EnumerateContext(ctx, root, p.head, p.workers)
+	default: // StrategyHypertree
+		return p.eval.Enumerate(ctx, db, p.workers)
+	}
+}
+
+// ExecuteBoolean decides satisfiability of the plan's query on db (for
+// non-Boolean queries: whether the answer is non-empty), using the cheaper
+// semijoin-only pass where the strategy allows it.
+func (p *Plan) ExecuteBoolean(ctx context.Context, db *Database) (bool, error) {
+	if db == nil {
+		return false, fmt.Errorf("hypertree: ExecuteBoolean on a nil database")
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	switch p.strategy {
+	case StrategyNaive:
+		t, err := hdeval.NaiveJoinContext(ctx, db, p.query)
+		if err != nil {
+			return false, err
+		}
+		return !t.Empty(), nil
+	case StrategyAcyclic:
+		if p.yeval == nil { // only ground atoms
+			return yannakakis.GroundAtomsHold(db, p.query)
+		}
+		root, err := p.yeval.Root(ctx, db)
+		if err != nil {
+			return false, err
+		}
+		return yannakakis.BooleanContext(ctx, root)
+	default: // StrategyHypertree
+		return p.eval.Boolean(ctx, db)
+	}
+}

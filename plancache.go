@@ -1,0 +1,122 @@
+package hypertree
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"hypertree/internal/cq"
+)
+
+// PlanCache is an LRU cache of compiled Plans keyed by the canonical form
+// of the query (invariant under variable renaming; atom order is
+// significant because answer tables carry the compiled query's variable
+// IDs) plus the compile options. It makes the Theorem 4.7 amortisation
+// automatic: recompiling a query that was already planned — under any
+// variable naming — reuses the decomposition instead of re-running the
+// exponential-in-k search. Safe for concurrent use.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type planCacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+// NewPlanCache returns an empty cache holding at most capacity plans
+// (capacity < 1 is treated as 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{capacity: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Compile returns the cached plan for (q, opts) or compiles and caches one.
+// Two concurrent misses on the same key may both compile; the first to
+// finish wins the cache slot (no lock is held across the search).
+func (c *PlanCache) Compile(ctx context.Context, q *Query, opts ...CompileOption) (*Plan, error) {
+	cfg, err := newCompileConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if q == nil {
+		return nil, fmt.Errorf("hypertree: Compile on a nil query")
+	}
+	key := planCacheKey(q, cfg)
+
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		p := el.Value.(*planCacheEntry).plan
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	p, err := compile(ctx, q, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; !ok {
+		c.items[key] = c.ll.PushFront(&planCacheEntry{key: key, plan: p})
+		for c.ll.Len() > c.capacity {
+			last := c.ll.Back()
+			c.ll.Remove(last)
+			delete(c.items, last.Value.(*planCacheEntry).key)
+		}
+	}
+	return p, nil
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counters.
+func (c *PlanCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge empties the cache (counters are kept).
+func (c *PlanCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = map[string]*list.Element{}
+}
+
+// planCacheKey fingerprints the query and every option that shapes the plan.
+func planCacheKey(q *Query, cfg *compileConfig) string {
+	name := ""
+	if cfg.decomposer != nil {
+		name = cfg.decomposer.Name()
+	}
+	return fmt.Sprintf("%s|s%d|k%d|b%d|w%d|%s",
+		cq.CanonicalForm(q), cfg.strategy, cfg.maxWidth, cfg.stepBudget, cfg.workers, name)
+}
+
+// DefaultPlanCacheSize is the capacity of the package-level plan cache.
+const DefaultPlanCacheSize = 256
+
+// DefaultPlanCache is the package-level plan cache used by the deprecated
+// Evaluate/EvaluateBoolean wrappers, giving legacy callers the compile-once
+// behaviour for free.
+var DefaultPlanCache = NewPlanCache(DefaultPlanCacheSize)
