@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test race bench
 
-# The full gate CI runs: formatting, vet, build, tests.
-check: fmt vet build test
+# The full gate CI runs: formatting, vet, build, race-instrumented tests
+# (the parallel evaluator and decomposition code must stay race-clean).
+check: fmt vet build race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -19,6 +20,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -369,6 +369,72 @@ func BenchmarkAblationKDecomp(b *testing.B) {
 	b.Run("full-separator-key", func(b *testing.B) { run(b, func(d *decomp.Decider) { d.FullSeparatorKey = true }) })
 }
 
+// E22: the greedy GHD engine versus the exact k-decomp search — compile
+// time at equal instances, plus greedy-only scaling on CSPs the exact
+// search cannot finish (cmd/hdbench E22 prints the width side of the same
+// comparison).
+func BenchmarkE22GreedyGHD(b *testing.B) {
+	grid := QueryHypergraph(gen.Grid(4, 4))
+	ctx := context.Background()
+	b.Run("exact/grid4x4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if w, _ := decomp.Width(grid); w != 3 {
+				b.Fatalf("hw = %d", w)
+			}
+		}
+	})
+	b.Run("greedy/grid4x4", func(b *testing.B) {
+		d := GreedyDecomposer()
+		for i := 0; i < b.N; i++ {
+			dec, err := d.Decompose(ctx, grid, DecomposeRequest{})
+			if err != nil || dec.Width() != 3 {
+				b.Fatalf("greedy width %d, err %v", dec.Width(), err)
+			}
+		}
+	})
+	for _, size := range []struct{ nv, ne int }{{30, 50}, {60, 100}, {120, 200}} {
+		h := QueryHypergraph(gen.RandomCSP(rand.New(rand.NewSource(8)), size.nv, size.ne, 3))
+		b.Run(fmt.Sprintf("greedy/csp-%datoms", size.ne), func(b *testing.B) {
+			d := GreedyDecomposer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Decompose(ctx, h, DecomposeRequest{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: parallel per-node materialisation (hdeval.RootWorkers) against
+// the sequential build on a decomposition with many independent nodes.
+func BenchmarkAblationParallelMaterialise(b *testing.B) {
+	q := gen.Cycle(12)
+	plan, err := Compile(q, WithStrategy(StrategyHypertree))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := gen.RandomDatabase(rand.New(rand.NewSource(5)), q, 600, 32)
+	ctx := context.Background()
+	eval, err := hdeval.NewEvaluator(q, plan.Decomposition())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.RootWorkers(ctx, db, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.RootWorkers(ctx, db, runtime.GOMAXPROCS(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // Theorem 4.7 amortisation: executing a precompiled Plan versus paying the
 // decomposition search on every call, and versus the plan cache. The
 // separation grows with the hardness of the query's width search relative

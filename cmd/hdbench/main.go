@@ -7,6 +7,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -404,6 +405,57 @@ var experiments = []experiment{
 		if misses != 1 || hits != 2 {
 			return fmt.Errorf("cache should compile once")
 		}
+		return nil
+	}},
+	{"E22", "Greedy GHD vs exact k-decomp — compile time and achieved width", func() error {
+		// The first decomposition benchmark (E1–E21 measure reuse and
+		// evaluation): heuristic versus exact search on growing hypergraphs.
+		// The exact search runs under a step budget; "—" marks exhaustion.
+		const budget = 200000
+		fmt.Println("  instance        | atoms | exact hw (time)      | greedy ghw (time)")
+		for _, tc := range []struct {
+			name string
+			q    *hypertree.Query
+		}{
+			{"cycle(16)", gen.Cycle(16)},
+			{"grid(4,4)", gen.Grid(4, 4)},
+			{"clique(7)", gen.CliqueBinary(7)},
+			{"csp(20,35)", gen.RandomCSP(rand.New(rand.NewSource(8)), 20, 35, 3)},
+			{"csp(30,50)", gen.RandomCSP(rand.New(rand.NewSource(8)), 30, 50, 3)},
+		} {
+			exactCol := "        —         "
+			t0 := time.Now()
+			exact, err := hypertree.Compile(tc.q,
+				hypertree.WithStrategy(hypertree.StrategyHypertree),
+				hypertree.WithStepBudget(budget))
+			exactT := time.Since(t0)
+			switch {
+			case err == nil:
+				exactCol = fmt.Sprintf("%2d (%v)", exact.Width(), exactT.Round(time.Microsecond))
+			case errors.Is(err, hypertree.ErrStepBudget):
+				exactCol = fmt.Sprintf(" — (budget, %v)", exactT.Round(time.Millisecond))
+			default:
+				return err
+			}
+			t1 := time.Now()
+			greedy, err := hypertree.Compile(tc.q,
+				hypertree.WithStrategy(hypertree.StrategyHypertree),
+				hypertree.WithDecomposer(hypertree.GreedyDecomposer()),
+				hypertree.WithStepBudget(budget))
+			if err != nil {
+				return fmt.Errorf("%s greedy: %w", tc.name, err)
+			}
+			greedyT := time.Since(t1)
+			fmt.Printf("  %-15s | %5d | %-20s | %2d (%v)\n",
+				tc.name, len(tc.q.Atoms), exactCol, greedy.Width(), greedyT.Round(time.Microsecond))
+			if err == nil && exact != nil && greedy.Width() < exact.Width() &&
+				hypertree.ValidateHD(greedy.Decomposition()) == nil {
+				return fmt.Errorf("%s: greedy HD beats the exact optimum", tc.name)
+			}
+		}
+		fmt.Println("  expected shape: greedy stays in the microsecond-to-millisecond range at")
+		fmt.Println("  every size and matches the exact width on the structured families; the")
+		fmt.Println("  exact search exhausts its budget on the 50-atom CSPs")
 		return nil
 	}},
 }

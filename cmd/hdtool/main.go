@@ -12,6 +12,8 @@
 //
 //	-k N          decide hw ≤ N and print a width-≤N decomposition
 //	-opt          compute the exact hypertree width (default)
+//	-ghd          use the greedy GHD heuristic instead of the exact search
+//	              (polynomial time; the width is an upper bound on ghw)
 //	-qw           also compute the query width (exponential search!)
 //	-parallel N   use N workers for the decomposition search
 //	-budget N     abort after N search steps
@@ -35,6 +37,7 @@ import (
 func main() {
 	var (
 		k        = flag.Int("k", 0, "decide hw ≤ k (0 = compute exact width)")
+		ghd      = flag.Bool("ghd", false, "greedy GHD heuristic instead of the exact search")
 		qw       = flag.Bool("qw", false, "also compute the query width (exponential)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the search (0 = sequential)")
 		budget   = flag.Int("budget", 0, "abort after this many search steps (0 = unlimited)")
@@ -43,13 +46,13 @@ func main() {
 		jt       = flag.Bool("jointree", false, "print a join tree if acyclic")
 	)
 	flag.Parse()
-	if err := run(*k, *qw, *parallel, *budget, *timeout, *dot, *jt, flag.Args()); err != nil {
+	if err := run(*k, *ghd, *qw, *parallel, *budget, *timeout, *dot, *jt, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hdtool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(k int, qw bool, parallel, budget int, timeout time.Duration, dot, printJT bool, args []string) error {
+func run(k int, ghd, qw bool, parallel, budget int, timeout time.Duration, dot, printJT bool, args []string) error {
 	src, err := readInput(args)
 	if err != nil {
 		return err
@@ -79,6 +82,9 @@ func run(k int, qw bool, parallel, budget int, timeout time.Duration, dot, print
 	}
 
 	opts := []hypertree.CompileOption{hypertree.WithStrategy(hypertree.StrategyHypertree)}
+	if ghd {
+		opts = append(opts, hypertree.WithDecomposer(hypertree.GreedyDecomposer()))
+	}
 	if k > 0 {
 		opts = append(opts, hypertree.WithMaxWidth(k))
 	}
@@ -91,7 +97,11 @@ func run(k int, qw bool, parallel, budget int, timeout time.Duration, dot, print
 	plan, err := hypertree.CompileContext(ctx, q, opts...)
 	switch {
 	case errors.Is(err, hypertree.ErrWidthExceeded):
-		fmt.Printf("hw(Q) > %d\n", k)
+		if ghd {
+			fmt.Printf("greedy heuristic found no GHD of width ≤ %d (this is not a proof that none exists)\n", k)
+		} else {
+			fmt.Printf("hw(Q) > %d\n", k)
+		}
 		return nil
 	case errors.Is(err, hypertree.ErrStepBudget):
 		return fmt.Errorf("search exceeded the %d-step budget", budget)
@@ -101,12 +111,19 @@ func run(k int, qw bool, parallel, budget int, timeout time.Duration, dot, print
 		return err
 	}
 	d := plan.Decomposition()
-	if k > 0 {
+	switch {
+	case plan.Generalized():
+		fmt.Printf("generalized hypertree width (greedy upper bound): %d\n", plan.Width())
+	case k > 0:
 		fmt.Printf("hw(Q) ≤ %d, found width %d\n", k, plan.Width())
-	} else {
+	default:
 		fmt.Printf("hypertree width: %d\n", plan.Width())
 	}
-	if err := hypertree.ValidateHD(d); err != nil {
+	validate := hypertree.ValidateHD
+	if plan.Generalized() {
+		validate = hypertree.ValidateGHD
+	}
+	if err := validate(d); err != nil {
 		return fmt.Errorf("internal error: produced decomposition invalid: %v", err)
 	}
 	if dot {

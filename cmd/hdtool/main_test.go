@@ -17,39 +17,50 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestRunComputesWidth(t *testing.T) {
 	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
-	if err := run(0, false, 0, 0, 0, false, false, []string{p}); err != nil {
+	if err := run(0, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBoundedAndParallel(t *testing.T) {
 	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
-	if err := run(2, false, 2, 0, 0, false, true, []string{p}); err != nil {
+	if err := run(2, false, false, 2, 0, 0, false, true, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 	// k below the width: reports hw > k without error
-	if err := run(1, false, 0, 0, 0, false, false, []string{p}); err != nil {
+	if err := run(1, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGreedyGHD(t *testing.T) {
+	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
+	if err := run(0, true, false, 0, 0, 0, false, false, []string{p}); err != nil {
+		t.Fatal(err)
+	}
+	// a width bound the heuristic cannot reach reports, without error
+	if err := run(1, true, false, 0, 0, 0, false, false, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQueryWidthAndDot(t *testing.T) {
 	p := writeTemp(t, `a(X,Y), b(Y,Z).`)
-	if err := run(0, true, 0, 0, 0, true, true, []string{p}); err != nil {
+	if err := run(0, false, true, 0, 0, 0, true, true, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(0, false, 0, 0, 0, false, false, []string{"/does/not/exist"}); err == nil {
+	if err := run(0, false, false, 0, 0, 0, false, false, []string{"/does/not/exist"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeTemp(t, `not a query`)
-	if err := run(0, false, 0, 0, 0, false, false, []string{bad}); err == nil {
+	if err := run(0, false, false, 0, 0, 0, false, false, []string{bad}); err == nil {
 		t.Error("malformed query accepted")
 	}
 	p := writeTemp(t, `r(X).`)
-	if err := run(0, false, 0, 0, 0, false, false, []string{p, p}); err == nil {
+	if err := run(0, false, false, 0, 0, 0, false, false, []string{p, p}); err == nil {
 		t.Error("two files accepted")
 	}
 }

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	qeval -query queryfile -db factsfile [-db2 factsfile ...]
-//	      [-strategy auto|naive|acyclic|hd|qd] [-workers N] [-timeout D]
+//	      [-strategy auto|naive|acyclic|hd|ghd|qd] [-workers N] [-timeout D]
 //
 // The query file holds one rule ("ans(X) :- r(X,Y), s(Y,Z)."); each facts
 // file holds ground atoms, one or more per line ("r(a,b). s(b,c)."). For a
@@ -28,7 +28,7 @@ func main() {
 		queryFile = flag.String("query", "", "file holding the conjunctive query")
 		dbFile    = flag.String("db", "", "file holding the facts")
 		dbFile2   = flag.String("db2", "", "optional second facts file (plan reuse)")
-		strategy  = flag.String("strategy", "auto", "auto | naive | acyclic | hd | qd")
+		strategy  = flag.String("strategy", "auto", "auto | naive | acyclic | hd | ghd | qd")
 		workers   = flag.Int("workers", 0, "worker goroutines for search and reduction")
 		timeout   = flag.Duration("timeout", 0, "abort compilation/evaluation after this duration")
 		timing    = flag.Bool("time", false, "print compile and evaluation wall time")
@@ -63,6 +63,10 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyAcyclic))
 	case "hd":
 		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyHypertree))
+	case "ghd":
+		opts = append(opts,
+			hypertree.WithStrategy(hypertree.StrategyHypertree),
+			hypertree.WithDecomposer(hypertree.GreedyDecomposer()))
 	case "qd":
 		opts = append(opts,
 			hypertree.WithStrategy(hypertree.StrategyHypertree),

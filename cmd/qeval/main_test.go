@@ -19,7 +19,7 @@ func write(t *testing.T, name, content string) string {
 func TestRunAllStrategies(t *testing.T) {
 	q := write(t, "q.cq", `r(X,Y), s(Y,Z), t(Z,X).`)
 	db := write(t, "f.db", "r(a,b). s(b,c). t(c,a).")
-	for _, s := range []string{"auto", "naive", "hd", "qd"} {
+	for _, s := range []string{"auto", "naive", "hd", "ghd", "qd"} {
 		if err := run(q, db, "", s, 0, 0, true); err != nil {
 			t.Errorf("strategy %s: %v", s, err)
 		}

@@ -3,8 +3,11 @@ package hypertree
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 
 	"hypertree/internal/decomp"
+	"hypertree/internal/ghd"
 	"hypertree/internal/querydecomp"
 )
 
@@ -43,17 +46,33 @@ type DecomposeRequest struct {
 // error — ErrWidthExceeded when it proves none exists within req.MaxWidth,
 // ErrStepBudget when req.StepBudget ran out, or ctx.Err() on cancellation.
 // Implementations must be safe for concurrent use; Compile validates every
-// returned decomposition against Definition 4.1.
+// returned decomposition against Definition 4.1 (or, for decomposers that
+// declare themselves GeneralizedDecomposers, against the GHD conditions 1–3
+// only).
 //
-// Three built-in strategies cover the paper's algorithms (KDecomposer,
-// ParallelKDecomposer, QueryDecomposer); future methods — greedy heuristics,
-// generalised hypertree decompositions — plug in through WithDecomposer
-// without another API change.
+// Four built-in strategies ship with the package: KDecomposer,
+// ParallelKDecomposer and QueryDecomposer cover the paper's exact
+// algorithms, and GreedyDecomposer is the heuristic GHD engine. Further
+// methods plug in through WithDecomposer without another API change.
 type Decomposer interface {
 	// Name identifies the strategy; it participates in plan-cache keys, so
 	// two Decomposers with the same name must be interchangeable.
 	Name() string
 	Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error)
+}
+
+// GeneralizedDecomposer marks a Decomposer whose output is a generalized
+// hypertree decomposition: it guarantees conditions 1–3 of Definition 4.1
+// but not the descendant condition (4). Compile validates such output with
+// ValidateGHD instead of the full ValidateHD — the Lemma 4.6 evaluation
+// needs only the cover conditions, so GHD plans execute through the same
+// machinery and return the same answers. Implement this interface (with
+// Generalized returning true) on any custom heuristic decomposer.
+type GeneralizedDecomposer interface {
+	Decomposer
+	// Generalized reports whether the produced decompositions may violate
+	// condition 4 (and must therefore be validated as GHDs).
+	Generalized() bool
 }
 
 // KDecomposer returns the sequential k-decomp Decomposer (the alternating
@@ -110,4 +129,106 @@ func (queryDecomposer) Decompose(ctx context.Context, h *Hypergraph, req Decompo
 		return d, err
 	}
 	return querydecomp.SearchContext(ctx, h, req.MaxWidth, req.StepBudget)
+}
+
+// GreedyOrdering selects a vertex-ordering heuristic for GreedyDecomposer.
+type GreedyOrdering = ghd.Ordering
+
+// The greedy vertex-ordering heuristics over the primal graph.
+const (
+	// GreedyMinFill eliminates the vertex adding the fewest fill edges.
+	GreedyMinFill = ghd.MinFill
+	// GreedyMinDegree eliminates the vertex of minimum current degree.
+	GreedyMinDegree = ghd.MinDegree
+	// GreedyMaxCardinality eliminates in reverse maximal-cardinality-search
+	// order (exact on chordal primal graphs).
+	GreedyMaxCardinality = ghd.MaxCardinality
+)
+
+// GreedyOption tunes the GreedyDecomposer improvement loop.
+type GreedyOption func(*ghd.Options)
+
+// WithGreedyOrderings restricts the ordering portfolio (default: min-fill,
+// min-degree and max-cardinality are all tried).
+func WithGreedyOrderings(orderings ...GreedyOrdering) GreedyOption {
+	return func(o *ghd.Options) { o.Orderings = orderings }
+}
+
+// WithGreedyRestarts sets the number of randomized-tie-break repetitions of
+// each ordering beyond the deterministic first pass (default 2; n < 0
+// disables restarts).
+func WithGreedyRestarts(n int) GreedyOption {
+	return func(o *ghd.Options) {
+		if n <= 0 {
+			n = -1
+		}
+		o.Restarts = n
+	}
+}
+
+// WithGreedySeed seeds the randomized tie-breaking (default 1, so repeated
+// compilations are reproducible).
+func WithGreedySeed(seed int64) GreedyOption {
+	return func(o *ghd.Options) { o.Seed = seed }
+}
+
+// GreedyDecomposer returns the heuristic GHD Decomposer: greedy vertex
+// orderings over the primal graph produce tree decompositions, a greedy
+// edge-cover pass turns each bag into a λ label, and an improvement loop
+// keeps the smallest width across the portfolio (see internal/ghd). The
+// output is a generalized hypertree decomposition — conditions 1–3 of
+// Definition 4.1 without the descendant condition — which evaluates through
+// the identical Lemma 4.6 machinery.
+//
+// Unlike the exact searches this runs in polynomial time, so it compiles
+// hypergraphs (e.g. random CSPs with 50+ atoms) that KDecomposer cannot
+// touch; the price is that the width is only an upper bound on ghw, and
+// ErrWidthExceeded under WithMaxWidth means "the heuristic found nothing
+// within the bound", not a proof that nothing exists. It honours MaxWidth,
+// StepBudget (one step = one vertex elimination decision; when the budget
+// dies mid-loop the best decomposition already found is returned) and
+// Workers (trials run concurrently; without a step budget or width bound
+// the result is identical to the sequential one — with either set, the
+// early cut-off point, and hence the achieved width, may vary).
+func GreedyDecomposer(opts ...GreedyOption) Decomposer {
+	var o ghd.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return greedyDecomposer{opts: o, name: greedyName(o)}
+}
+
+type greedyDecomposer struct {
+	opts ghd.Options
+	name string
+}
+
+// greedyName encodes the tuning into the strategy name: the name
+// participates in plan-cache keys, and two GreedyDecomposers are only
+// interchangeable when their whole configuration matches — a default "ghd"
+// and a seeded, restricted-portfolio one must not share cached plans.
+func greedyName(o ghd.Options) string {
+	if len(o.Orderings) == 0 && o.Restarts == 0 && o.Seed == 0 {
+		return "ghd"
+	}
+	var b strings.Builder
+	b.WriteString("ghd[")
+	for i, ord := range o.Orderings {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(ord.String())
+	}
+	fmt.Fprintf(&b, ";r=%d;s=%d]", o.Restarts, o.Seed)
+	return b.String()
+}
+
+func (g greedyDecomposer) Name() string { return g.name }
+
+// Generalized marks the output as GHD-only: Compile validates conditions
+// 1–3 and skips the descendant condition.
+func (greedyDecomposer) Generalized() bool { return true }
+
+func (g greedyDecomposer) Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error) {
+	return ghd.Decompose(ctx, h, g.opts, req.MaxWidth, req.StepBudget, req.Workers)
 }

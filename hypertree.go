@@ -31,12 +31,14 @@
 // WithMaxWidth, WithWorkers, WithStepBudget — and the decomposition method
 // itself is pluggable through WithDecomposer: KDecomposer (Section 5),
 // ParallelKDecomposer (the LOGCFL-inspired parallel search) and
-// QueryDecomposer (Definition 3.1) ship with the package, and future
-// greedy/GHD strategies implement the same Decomposer interface. Long
-// searches are cancellable: CompileContext and Execute observe their
-// context's cancellation and deadline. A PlanCache (see DefaultPlanCache)
-// keyed by the canonical query form makes repeated compilation of
-// α-equivalent queries free.
+// QueryDecomposer (Definition 3.1) are the exact searches, and
+// GreedyDecomposer is the polynomial-time heuristic that produces
+// generalized hypertree decompositions — it compiles hypergraphs far beyond
+// the exact searches' reach at the price of width optimality. Long searches
+// are cancellable: CompileContext and Execute observe their context's
+// cancellation and deadline. A PlanCache (see DefaultPlanCache) keyed by
+// the canonical query form and the compile options (including the
+// decomposer name) makes repeated compilation of α-equivalent queries free.
 //
 // # Deprecated one-shot API
 //
@@ -159,6 +161,11 @@ func DecomposeParallel(q *Query, k, workers int) (*Decomposition, error) {
 
 // ValidateHD checks the four conditions of Definition 4.1.
 func ValidateHD(d *Decomposition) error { return d.Validate() }
+
+// ValidateGHD checks conditions 1–3 of Definition 4.1 only — the definition
+// of a generalized hypertree decomposition, the output of GreedyDecomposer.
+// Every HD is a GHD; the converse fails exactly on the descendant condition.
+func ValidateGHD(d *Decomposition) error { return d.ValidateGHD() }
 
 // ValidateQD checks the pure query-decomposition conditions of
 // Definition 3.1.

@@ -77,6 +77,38 @@ func chiSubtree(n *Node) bitset.Set {
 //  3. for each node p, χ(p) ⊆ var(λ(p));
 //  4. for each node p, var(λ(p)) ∩ χ(T_p) ⊆ χ(p).
 func (d *Decomposition) Validate() error {
+	if err := d.ValidateGHD(); err != nil {
+		return err
+	}
+	if d.Root == nil {
+		return nil
+	}
+	// Condition 4 — the "special condition" that distinguishes hypertree
+	// decompositions from generalized ones.
+	h := d.H
+	var check4 func(n *Node) error
+	check4 = func(n *Node) error {
+		lv := h.Vars(n.Lambda)
+		if bad := lv.Intersect(chiSubtree(n)).Diff(n.Chi); !bad.Empty() {
+			return fmt.Errorf("decomp: condition 4 violated at node χ=%v λ=%v: vars %v reappear below",
+				h.VertexNames(n.Chi), h.EdgeNames(n.Lambda), h.VertexNames(bad))
+		}
+		for _, c := range n.Children {
+			if err := check4(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check4(d.Root)
+}
+
+// ValidateGHD checks conditions 1–3 of Definition 4.1 only — the definition
+// of a generalized hypertree decomposition (GHD). Dropping the descendant
+// condition (4) does not affect evaluation: Lemma 4.6 needs only the cover
+// conditions, so a GHD is evaluated through exactly the same machinery.
+// Heuristic decomposers (internal/ghd) produce GHDs, not HDs.
+func (d *Decomposition) ValidateGHD() error {
 	if d.Root == nil {
 		if d.H.NumEdges() == 0 {
 			return nil
@@ -150,26 +182,21 @@ func (d *Decomposition) Validate() error {
 		return err
 	}
 
-	// Conditions 3 and 4.
-	var check34 func(n *Node) error
-	check34 = func(n *Node) error {
-		lv := h.Vars(n.Lambda)
-		if !n.Chi.SubsetOf(lv) {
+	// Condition 3.
+	var check3 func(n *Node) error
+	check3 = func(n *Node) error {
+		if !n.Chi.SubsetOf(h.Vars(n.Lambda)) {
 			return fmt.Errorf("decomp: condition 3 violated: χ ⊄ var(λ) at node χ=%v λ=%v",
 				h.VertexNames(n.Chi), h.EdgeNames(n.Lambda))
 		}
-		if bad := lv.Intersect(chiSubtree(n)).Diff(n.Chi); !bad.Empty() {
-			return fmt.Errorf("decomp: condition 4 violated at node χ=%v λ=%v: vars %v reappear below",
-				h.VertexNames(n.Chi), h.EdgeNames(n.Lambda), h.VertexNames(bad))
-		}
 		for _, c := range n.Children {
-			if err := check34(c); err != nil {
+			if err := check3(c); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return check34(d.Root)
+	return check3(d.Root)
 }
 
 // IsComplete reports whether the decomposition is complete (Definition 4.2):

@@ -138,6 +138,39 @@ func RandomQuery(rng *rand.Rand, nv, ne, maxArity int) *cq.Query {
 	return cq.MustParse(strings.Join(atoms, ", "))
 }
 
+// RandomCSP returns a connected, cyclic constraint network with exactly ne
+// atoms over nv variables: the first nv atoms form a cycle backbone
+// c1(X1,X2), ..., cnv(Xnv,X1) — guaranteeing connectivity and cyclicity for
+// nv ≥ 3 — and the remaining ne−nv atoms are random constraints of arity
+// 2..maxArity. These are the "random CSP" instances the greedy GHD engine
+// targets: large enough that the exact k-decomp search is hopeless, yet
+// structured enough that greedy orderings find small-width decompositions.
+func RandomCSP(rng *rand.Rand, nv, ne, maxArity int) *cq.Query {
+	if nv < 3 {
+		panic("gen: RandomCSP needs nv ≥ 3 for a cyclic backbone")
+	}
+	if ne < nv {
+		panic("gen: RandomCSP needs ne ≥ nv atoms")
+	}
+	if maxArity < 2 {
+		maxArity = 2
+	}
+	var atoms []string
+	for i := 1; i <= nv; i++ {
+		next := i%nv + 1
+		atoms = append(atoms, fmt.Sprintf("c%d(X%d, X%d)", i, i, next))
+	}
+	for e := nv; e < ne; e++ {
+		arity := 2 + rng.Intn(maxArity-1)
+		args := make([]string, arity)
+		for i := range args {
+			args[i] = fmt.Sprintf("X%d", 1+rng.Intn(nv))
+		}
+		atoms = append(atoms, fmt.Sprintf("p%d(%s)", e, strings.Join(args, ", ")))
+	}
+	return cq.MustParse(strings.Join(atoms, ", "))
+}
+
 // RandomDatabase fills rows random tuples (over a domain of the given size)
 // into each relation the query mentions, with matching arities.
 func RandomDatabase(rng *rand.Rand, q *cq.Query, rows, domain int) *relation.Database {

@@ -15,6 +15,7 @@ package hdeval
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"hypertree/internal/cq"
 	"hypertree/internal/decomp"
@@ -70,6 +71,15 @@ func (e *Evaluator) Head() []int { return append([]int(nil), e.head...) }
 // decomposition tree. Ground atoms of the query (variable-free, hence absent
 // from H(Q)) are evaluated separately and, if false, empty the root.
 func (e *Evaluator) Root(ctx context.Context, db *relation.Database) (*yannakakis.Node, error) {
+	return e.RootWorkers(ctx, db, 1)
+}
+
+// RootWorkers is Root with the per-node λ-join materialisations of
+// independent subtrees running on up to workers goroutines — the node tables
+// of Lemma 4.6 are mutually independent (each depends only on db), so the
+// decomposition tree fans out embarrassingly. workers ≤ 1 is the sequential
+// path.
+func (e *Evaluator) RootWorkers(ctx context.Context, db *relation.Database, workers int) (*yannakakis.Node, error) {
 	if e.HD.Root == nil { // no variable atoms: nothing to materialise
 		ok, err := yannakakis.GroundAtomsHold(db, e.Q)
 		if err != nil {
@@ -82,59 +92,18 @@ func (e *Evaluator) Root(ctx context.Context, db *relation.Database) (*yannakaki
 		return &yannakakis.Node{Table: t}, nil
 	}
 
-	atomTables := map[int]*relation.Table{} // edge id -> bound table
-	bind := func(e2 int) (*relation.Table, error) {
-		if t, ok := atomTables[e2]; ok {
-			return t, nil
-		}
-		t, err := yannakakis.BindAtom(db, e.Q, e.edgeToAtom[e2])
-		if err != nil {
-			return nil, err
-		}
-		atomTables[e2] = t
-		return t, nil
+	b := &rootBuilder{ctx: ctx, db: db, e: e, atomTables: map[int]*relation.Table{}}
+	var root *yannakakis.Node
+	var err error
+	if workers <= 1 {
+		root, err = b.buildSeq(e.HD.Root)
+	} else {
+		// The semaphore bounds concurrent table work only; goroutines waiting
+		// on children hold no slot, so deep trees cannot deadlock (the same
+		// discipline as yannakakis.ParallelReduce).
+		b.sem = make(chan struct{}, workers)
+		root, err = b.buildPar(e.HD.Root)
 	}
-
-	var build func(n *decomp.Node) (*yannakakis.Node, error)
-	build = func(n *decomp.Node) (*yannakakis.Node, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// join the λ relations, then project to χ
-		var joined *relation.Table
-		var err error
-		n.Lambda.ForEach(func(e2 int) {
-			if err != nil {
-				return
-			}
-			var t *relation.Table
-			t, err = bind(e2)
-			if err != nil {
-				return
-			}
-			if joined == nil {
-				joined = t
-			} else {
-				joined = joined.Join(t)
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		if joined == nil {
-			return nil, fmt.Errorf("hdeval: decomposition node with empty λ")
-		}
-		out := &yannakakis.Node{Table: joined.Project(e.chiElems[n])}
-		for _, c := range n.Children {
-			cn, err := build(c)
-			if err != nil {
-				return nil, err
-			}
-			out.Children = append(out.Children, cn)
-		}
-		return out, nil
-	}
-	root, err := build(e.HD.Root)
 	if err != nil {
 		return nil, err
 	}
@@ -148,9 +117,124 @@ func (e *Evaluator) Root(ctx context.Context, db *relation.Database) (*yannakaki
 	return root, nil
 }
 
+// rootBuilder carries the shared state of one Root materialisation. The
+// atom-table memo is guarded by mu; two goroutines may race to bind the same
+// atom and both compute it, but tables are immutable so the loser's work is
+// merely discarded.
+type rootBuilder struct {
+	ctx context.Context
+	db  *relation.Database
+	e   *Evaluator
+	sem chan struct{}
+
+	mu         sync.Mutex
+	atomTables map[int]*relation.Table // edge id -> bound table
+}
+
+func (b *rootBuilder) bind(e2 int) (*relation.Table, error) {
+	b.mu.Lock()
+	t, ok := b.atomTables[e2]
+	b.mu.Unlock()
+	if ok {
+		return t, nil
+	}
+	t, err := yannakakis.BindAtom(b.db, b.e.Q, b.e.edgeToAtom[e2])
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	if prev, ok := b.atomTables[e2]; ok {
+		t = prev
+	} else {
+		b.atomTables[e2] = t
+	}
+	b.mu.Unlock()
+	return t, nil
+}
+
+// materialize joins the λ relations of n and projects to χ.
+func (b *rootBuilder) materialize(n *decomp.Node) (*relation.Table, error) {
+	var joined *relation.Table
+	var err error
+	n.Lambda.ForEach(func(e2 int) {
+		if err != nil {
+			return
+		}
+		var t *relation.Table
+		t, err = b.bind(e2)
+		if err != nil {
+			return
+		}
+		if joined == nil {
+			joined = t
+		} else {
+			joined = joined.Join(t)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if joined == nil {
+		return nil, fmt.Errorf("hdeval: decomposition node with empty λ")
+	}
+	return joined.Project(b.e.chiElems[n]), nil
+}
+
+func (b *rootBuilder) buildSeq(n *decomp.Node) (*yannakakis.Node, error) {
+	if err := b.ctx.Err(); err != nil {
+		return nil, err
+	}
+	t, err := b.materialize(n)
+	if err != nil {
+		return nil, err
+	}
+	out := &yannakakis.Node{Table: t}
+	for _, c := range n.Children {
+		cn, err := b.buildSeq(c)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, cn)
+	}
+	return out, nil
+}
+
+// buildPar materialises n's own table under a semaphore slot while its
+// children build concurrently; the first error wins and the tree above it
+// is abandoned (all goroutines are still joined before returning).
+func (b *rootBuilder) buildPar(n *decomp.Node) (*yannakakis.Node, error) {
+	if err := b.ctx.Err(); err != nil {
+		return nil, err
+	}
+	children := make([]*yannakakis.Node, len(n.Children))
+	errs := make([]error, len(n.Children))
+	var wg sync.WaitGroup
+	for i, c := range n.Children {
+		wg.Add(1)
+		go func(i int, c *decomp.Node) {
+			defer wg.Done()
+			children[i], errs[i] = b.buildPar(c)
+		}(i, c)
+	}
+	b.sem <- struct{}{}
+	t, err := b.materialize(n)
+	<-b.sem
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	for _, cerr := range errs {
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+	return &yannakakis.Node{Table: t, Children: children}, nil
+}
+
 // Boolean decides the query against db by the bottom-up semijoin pass.
-func (e *Evaluator) Boolean(ctx context.Context, db *relation.Database) (bool, error) {
-	root, err := e.Root(ctx, db)
+// workers > 1 materialises the node tables on that many goroutines.
+func (e *Evaluator) Boolean(ctx context.Context, db *relation.Database, workers int) (bool, error) {
+	root, err := e.RootWorkers(ctx, db, workers)
 	if err != nil {
 		return false, err
 	}
@@ -158,10 +242,11 @@ func (e *Evaluator) Boolean(ctx context.Context, db *relation.Database) (bool, e
 }
 
 // Enumerate computes the full answer relation over the head variables, in
-// time polynomial in input + output (Theorem 4.8). workers > 1 runs the
-// full reducer's independent subtrees on that many goroutines.
+// time polynomial in input + output (Theorem 4.8). workers > 1 runs both
+// the per-node λ-join materialisation and the full reducer's independent
+// subtrees on that many goroutines.
 func (e *Evaluator) Enumerate(ctx context.Context, db *relation.Database, workers int) (*relation.Table, error) {
-	root, err := e.Root(ctx, db)
+	root, err := e.RootWorkers(ctx, db, workers)
 	if err != nil {
 		return nil, err
 	}

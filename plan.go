@@ -20,15 +20,16 @@ import (
 // Execute and ExecuteBoolean may be called simultaneously against different
 // (or the same) databases.
 type Plan struct {
-	query      *Query
-	strategy   Strategy // resolved: never StrategyAuto
-	dec        *Decomposition
-	eval       *hdeval.Evaluator     // hypertree-strategy skeleton
-	jt         *JoinTree             // acyclic-strategy join tree (nil if ground-only)
-	yeval      *yannakakis.Evaluator // acyclic-strategy skeleton (nil if ground-only)
-	head       []int
-	workers    int
-	decomposer string
+	query       *Query
+	strategy    Strategy // resolved: never StrategyAuto
+	dec         *Decomposition
+	eval        *hdeval.Evaluator     // hypertree-strategy skeleton
+	jt          *JoinTree             // acyclic-strategy join tree (nil if ground-only)
+	yeval       *yannakakis.Evaluator // acyclic-strategy skeleton (nil if ground-only)
+	head        []int
+	workers     int
+	decomposer  string
+	generalized bool // decomposition validated as a GHD (conditions 1–3 only)
 }
 
 // compileConfig is assembled by the functional options.
@@ -188,6 +189,9 @@ func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 		} else {
 			d := cfg.chosenDecomposer()
 			p.decomposer = d.Name()
+			if g, ok := d.(GeneralizedDecomposer); ok && g.Generalized() {
+				p.generalized = true
+			}
 			dec, err = d.Decompose(ctx, h, DecomposeRequest{
 				MaxWidth:   cfg.maxWidth,
 				StepBudget: cfg.stepBudget,
@@ -199,7 +203,16 @@ func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 			if dec == nil {
 				return nil, fmt.Errorf("hypertree: decomposer %q returned no decomposition and no error", p.decomposer)
 			}
-			if err := dec.Validate(); err != nil {
+			// HD mode checks all four conditions of Definition 4.1; GHD mode
+			// checks the cover conditions 1–3 only — evaluation (Lemma 4.6)
+			// never needs the descendant condition, so relaxing it here is
+			// safe and is what lets heuristic decomposers through.
+			if p.generalized {
+				err = dec.ValidateGHD()
+			} else {
+				err = dec.Validate()
+			}
+			if err != nil {
 				return nil, fmt.Errorf("hypertree: decomposer %q produced an invalid decomposition: %w", p.decomposer, err)
 			}
 		}
@@ -246,12 +259,21 @@ func (p *Plan) Width() int {
 // plan's decomposition ("" when no search ran).
 func (p *Plan) DecomposerName() string { return p.decomposer }
 
+// Generalized reports whether the plan's decomposition is a generalized
+// hypertree decomposition (validated against conditions 1–3 of Definition
+// 4.1 only). Width then upper-bounds the generalized hypertree width rather
+// than equalling the exact hypertree width.
+func (p *Plan) Generalized() bool { return p.generalized }
+
 // String summarises the plan.
 func (p *Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan{%s", strategyName(p.strategy))
 	if p.dec != nil {
 		fmt.Fprintf(&b, ", width=%d", p.dec.Width())
+		if p.generalized {
+			b.WriteString(" (ghd)")
+		}
 	}
 	if p.decomposer != "" {
 		fmt.Fprintf(&b, ", decomposer=%s", p.decomposer)
@@ -334,6 +356,6 @@ func (p *Plan) ExecuteBoolean(ctx context.Context, db *Database) (bool, error) {
 		}
 		return yannakakis.BooleanContext(ctx, root)
 	default: // StrategyHypertree
-		return p.eval.Boolean(ctx, db)
+		return p.eval.Boolean(ctx, db, p.workers)
 	}
 }

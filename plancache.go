@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"hypertree/internal/cq"
 )
@@ -12,31 +13,53 @@ import (
 // PlanCache is an LRU cache of compiled Plans keyed by the canonical form
 // of the query (invariant under variable renaming; atom order is
 // significant because answer tables carry the compiled query's variable
-// IDs) plus the compile options. It makes the Theorem 4.7 amortisation
-// automatic: recompiling a query that was already planned — under any
-// variable naming — reuses the decomposition instead of re-running the
-// exponential-in-k search. Safe for concurrent use.
+// IDs) plus the compile options — including the Decomposer name, so e.g. a
+// "ghd" plan and a "k-decomp" plan for the same query never collide. It
+// makes the Theorem 4.7 amortisation automatic: recompiling a query that
+// was already planned — under any variable naming — reuses the
+// decomposition instead of re-running the exponential-in-k search. An
+// optional TTL (NewPlanCacheTTL) expires entries lazily on access. Safe for
+// concurrent use.
 type PlanCache struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	ttl       time.Duration // ≤ 0: entries never expire
+	now       func() time.Time
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type planCacheEntry struct {
-	key  string
-	plan *Plan
+	key   string
+	plan  *Plan
+	added time.Time
 }
 
 // NewPlanCache returns an empty cache holding at most capacity plans
-// (capacity < 1 is treated as 1).
+// (capacity < 1 is treated as 1); entries never expire.
 func NewPlanCache(capacity int) *PlanCache {
+	return NewPlanCacheTTL(capacity, 0)
+}
+
+// NewPlanCacheTTL is NewPlanCache with a time-to-live: an entry older than
+// ttl is evicted (and recompiled) on its next access, and Len sweeps
+// expired entries out. ttl ≤ 0 disables expiry. TTL eviction suits serving
+// deployments where schemas drift: a plan compiled against yesterday's
+// workload stops being served without a manual Purge.
+func NewPlanCacheTTL(capacity int, ttl time.Duration) *PlanCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &PlanCache{capacity: capacity, ll: list.New(), items: map[string]*list.Element{}}
+	return &PlanCache{
+		capacity: capacity,
+		ttl:      ttl,
+		now:      time.Now,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+	}
 }
 
 // Compile returns the cached plan for (q, opts) or compiles and caches one.
@@ -54,11 +77,15 @@ func (c *PlanCache) Compile(ctx context.Context, q *Query, opts ...CompileOption
 
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		p := el.Value.(*planCacheEntry).plan
-		c.mu.Unlock()
-		return p, nil
+		entry := el.Value.(*planCacheEntry)
+		if !c.expired(entry) {
+			c.ll.MoveToFront(el)
+			c.hits++
+			p := entry.plan
+			c.mu.Unlock()
+			return p, nil
+		}
+		c.removeLocked(el)
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -71,21 +98,49 @@ func (c *PlanCache) Compile(ctx context.Context, q *Query, opts ...CompileOption
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.items[key]; !ok {
-		c.items[key] = c.ll.PushFront(&planCacheEntry{key: key, plan: p})
+		c.items[key] = c.ll.PushFront(&planCacheEntry{key: key, plan: p, added: c.now()})
 		for c.ll.Len() > c.capacity {
-			last := c.ll.Back()
-			c.ll.Remove(last)
-			delete(c.items, last.Value.(*planCacheEntry).key)
+			c.removeLocked(c.ll.Back())
 		}
 	}
 	return p, nil
 }
 
-// Len returns the number of cached plans.
+// expired reports whether the entry's TTL has lapsed.
+func (c *PlanCache) expired(e *planCacheEntry) bool {
+	return c.ttl > 0 && c.now().Sub(e.added) > c.ttl
+}
+
+// removeLocked evicts an element and counts it. Callers hold c.mu.
+func (c *PlanCache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*planCacheEntry).key)
+	c.evictions++
+}
+
+// Len returns the number of live cached plans, sweeping out entries whose
+// TTL has lapsed first.
 func (c *PlanCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.sweepLocked()
 	return c.ll.Len()
+}
+
+// sweepLocked evicts every expired entry. Callers hold c.mu.
+func (c *PlanCache) sweepLocked() {
+	if c.ttl <= 0 {
+		return
+	}
+	var expired []*list.Element
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if c.expired(el.Value.(*planCacheEntry)) {
+			expired = append(expired, el)
+		}
+	}
+	for _, el := range expired {
+		c.removeLocked(el)
+	}
 }
 
 // Stats returns the cumulative hit and miss counters.
@@ -93,6 +148,26 @@ func (c *PlanCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// CacheMetrics is a point-in-time snapshot of the cache counters: a TTL
+// expiry and an LRU displacement both count as an eviction.
+type CacheMetrics struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int
+}
+
+// Metrics returns the cumulative counters plus the current size — the hook
+// for exporting cache behaviour to monitoring. The snapshot is atomic:
+// expired entries are swept and the counters read under one lock, so Len
+// and Evictions are mutually consistent.
+func (c *PlanCache) Metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	return CacheMetrics{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.ll.Len()}
 }
 
 // Purge empties the cache (counters are kept).

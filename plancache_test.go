@@ -1,0 +1,125 @@
+package hypertree
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TTL expiry: a stale entry is recompiled on access and counted as an
+// eviction; entries within the TTL keep hitting.
+func TestPlanCacheTTL(t *testing.T) {
+	cache := NewPlanCacheTTL(8, time.Minute)
+	clock := time.Unix(1000, 0)
+	cache.now = func() time.Time { return clock }
+	ctx := context.Background()
+	cd := &countingDecomposer{inner: KDecomposer()}
+	opts := []CompileOption{WithStrategy(StrategyHypertree), WithDecomposer(cd)}
+	q := MustParseQuery(`ans(X) :- r(X,Y), s(Y,Z), t(Z,X).`)
+
+	if _, err := cache.Compile(ctx, q, opts...); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(30 * time.Second) // fresh
+	if _, err := cache.Compile(ctx, q, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if got := cd.calls.Load(); got != 1 {
+		t.Fatalf("within TTL: %d searches, want 1", got)
+	}
+
+	clock = clock.Add(2 * time.Minute) // stale
+	if _, err := cache.Compile(ctx, q, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if got := cd.calls.Load(); got != 2 {
+		t.Fatalf("after TTL: %d searches, want 2 (expired entry must recompile)", got)
+	}
+	m := cache.Metrics()
+	if m.Hits != 1 || m.Misses != 2 || m.Evictions != 1 || m.Len != 1 {
+		t.Fatalf("metrics = %+v, want hits=1 misses=2 evictions=1 len=1", m)
+	}
+
+	// Len sweeps expired entries
+	clock = clock.Add(2 * time.Minute)
+	if n := cache.Len(); n != 0 {
+		t.Fatalf("after sweep Len = %d, want 0", n)
+	}
+	if m := cache.Metrics(); m.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", m.Evictions)
+	}
+}
+
+// LRU displacement counts as an eviction in Metrics.
+func TestPlanCacheMetricsLRU(t *testing.T) {
+	cache := NewPlanCache(2)
+	ctx := context.Background()
+	for _, src := range []string{`a(X,Y)`, `b(X,Y)`, `c(X,Y)`} {
+		if _, err := cache.Compile(ctx, MustParseQuery(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := cache.Metrics()
+	if m.Misses != 3 || m.Evictions != 1 || m.Len != 2 {
+		t.Fatalf("metrics = %+v, want misses=3 evictions=1 len=2", m)
+	}
+}
+
+// The cache key incorporates the Decomposer name: a "ghd" plan and a
+// "k-decomp" plan for the same query occupy distinct slots and neither
+// shadows the other.
+func TestPlanCacheDecomposerKeySeparation(t *testing.T) {
+	cache := NewPlanCache(8)
+	ctx := context.Background()
+	q := MustParseQuery(`r(X,Y), s(Y,Z), t(Z,X)`)
+	opts := func(d Decomposer) []CompileOption {
+		return []CompileOption{WithStrategy(StrategyHypertree), WithDecomposer(d)}
+	}
+	exact, err := cache.Compile(ctx, q, opts(KDecomposer())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := cache.Compile(ctx, q, opts(GreedyDecomposer())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == greedy {
+		t.Fatal("ghd and k-decomp plans must not share a cache slot")
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache len = %d, want 2 distinct entries", cache.Len())
+	}
+	if exact.DecomposerName() != "k-decomp" || greedy.DecomposerName() != "ghd" {
+		t.Fatalf("decomposer names: %q / %q", exact.DecomposerName(), greedy.DecomposerName())
+	}
+	if exact.Generalized() || !greedy.Generalized() {
+		t.Fatalf("generalized flags: exact=%v greedy=%v", exact.Generalized(), greedy.Generalized())
+	}
+	// both keys hit on re-compile
+	if p, _ := cache.Compile(ctx, q, opts(KDecomposer())...); p != exact {
+		t.Fatal("k-decomp plan missed the cache")
+	}
+	if p, _ := cache.Compile(ctx, q, opts(GreedyDecomposer())...); p != greedy {
+		t.Fatal("ghd plan missed the cache")
+	}
+	if hits, _ := cache.Stats(); hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+
+	// Differently-configured greedy decomposers are not interchangeable and
+	// must carry distinct names, so their plans never share a slot either.
+	tuned := GreedyDecomposer(WithGreedyOrderings(GreedyMinDegree), WithGreedySeed(42))
+	if tuned.Name() == GreedyDecomposer().Name() {
+		t.Fatalf("tuned greedy decomposer shares the default name %q", tuned.Name())
+	}
+	tunedPlan, err := cache.Compile(ctx, q, opts(tuned)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tunedPlan == greedy {
+		t.Fatal("tuned ghd plan must not hit the default ghd cache slot")
+	}
+	if cache.Len() != 3 {
+		t.Fatalf("cache len = %d, want 3", cache.Len())
+	}
+}
