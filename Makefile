@@ -1,10 +1,18 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench docs
 
 # The full gate CI runs: formatting, vet, build, race-instrumented tests
-# (the parallel evaluator and decomposition code must stay race-clean).
-check: fmt vet build race
+# (the parallel evaluator and decomposition code must stay race-clean),
+# plus the documentation gate.
+check: fmt vet build race docs
+
+# Documentation gate: vet + gofmt plus godoc coverage — every exported
+# identifier in every package must carry a doc comment (see
+# internal/tools/doccheck; runnable Example functions are exercised by the
+# ordinary test targets).
+docs: fmt vet
+	$(GO) run ./internal/tools/doccheck -r .
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -506,3 +506,45 @@ func BenchmarkAblationParallelReduce(b *testing.B) {
 		}
 	})
 }
+
+// E23: partition-parallel execution (cmd/hdbench E23 prints the
+// multi-million-tuple wall-clock side; this bench tracks the same paths at
+// a size the test suite can afford). The sharded path pays scatter overhead
+// but divides the probe, output and χ-projection work per shard and reuses
+// one join index across every fragment.
+func BenchmarkE23Sharded(b *testing.B) {
+	q := gen.Cycle(3)
+	db := gen.LargeRandomDatabase(rand.New(rand.NewSource(23)), q, 60_000, 30_000)
+	plan, err := Compile(q, WithStrategy(StrategyHypertree))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.ExecuteBoolean(ctx, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{4, 8} {
+		pdb, err := PartitionDatabase(db, n, HashPartition)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("sharded-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.ExecuteBooleanSharded(ctx, pdb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("partition-hash-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := PartitionDatabase(db, 4, HashPartition); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -458,6 +458,98 @@ var experiments = []experiment{
 		fmt.Println("  exact search exhausts its budget on the 50-atom CSPs")
 		return nil
 	}},
+	{"E23", "Sharded vs single-DB λ-join materialisation (Thm. 4.7 data complexity)", func() error {
+		// The data-complexity experiment: one fixed width-2 plan, one
+		// multi-million-tuple database, and the same Boolean evaluation
+		// single-path versus partition-parallel (Plan.ExecuteBooleanSharded).
+		// Sharding must never change answers, and at ≥4 shards the
+		// fragment-and-replicate materialisation should beat the single-DB
+		// wall-clock. Each row reports the one-off partitioning cost
+		// separately: partitions are built once and amortised across every
+		// query that executes against them.
+		// cycle(3): every λ pair of the width-2 decomposition shares a
+		// variable, so node materialisation is a genuine (output-heavy)
+		// join, not a cross product.
+		q := gen.Cycle(3)
+		const rows, domain = 800_000, 400_000
+		t0 := time.Now()
+		db := gen.LargeRandomDatabase(rand.New(rand.NewSource(23)), q, rows, domain)
+		tuples := 0
+		for _, name := range db.RelationNames() {
+			tuples += db.Relation(name).Rows()
+		}
+		fmt.Printf("  database: %d relations, %d tuples (built in %v)\n",
+			len(db.RelationNames()), tuples, time.Since(t0).Round(time.Millisecond))
+
+		plan, err := hypertree.Compile(q,
+			hypertree.WithStrategy(hypertree.StrategyHypertree),
+			hypertree.WithWorkers(runtime.GOMAXPROCS(0)))
+		if err != nil {
+			return err
+		}
+		ctx := context.Background()
+		bestOf := func(n int, f func() error) (time.Duration, error) {
+			best := time.Duration(1<<63 - 1)
+			for i := 0; i < n; i++ {
+				t := time.Now()
+				if err := f(); err != nil {
+					return 0, err
+				}
+				if d := time.Since(t); d < best {
+					best = d
+				}
+			}
+			return best, nil
+		}
+		var single bool
+		singleT, err := bestOf(2, func() (err error) {
+			single, err = plan.ExecuteBoolean(ctx, db)
+			return
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  single-DB: %v in %v (parallel node materialisation, %d workers)\n",
+			single, singleT.Round(time.Millisecond), runtime.GOMAXPROCS(0))
+
+		fmt.Println("  shards | partition (once) | sharded eval | speedup")
+		var shardedAt4Plus time.Duration
+		for _, n := range []int{2, 4, 8, 16} {
+			t1 := time.Now()
+			pdb, err := hypertree.PartitionDatabase(db, n, hypertree.HashPartition)
+			if err != nil {
+				return err
+			}
+			partT := time.Since(t1)
+			var sharded bool
+			shardT, err := bestOf(2, func() (err error) {
+				sharded, err = plan.ExecuteBooleanSharded(ctx, pdb)
+				return
+			})
+			if err != nil {
+				return err
+			}
+			if sharded != single {
+				return fmt.Errorf("%d shards: sharded verdict %v != single %v", n, sharded, single)
+			}
+			fmt.Printf("  %6d | %16v | %12v | %.2fx\n",
+				n, partT.Round(time.Millisecond), shardT.Round(time.Millisecond),
+				float64(singleT)/float64(shardT))
+			if n >= 4 && (shardedAt4Plus == 0 || shardT < shardedAt4Plus) {
+				shardedAt4Plus = shardT
+			}
+		}
+		if shardedAt4Plus >= singleT {
+			return fmt.Errorf("sharded evaluation (%v at ≥4 shards) did not beat single-DB (%v)",
+				shardedAt4Plus, singleT)
+		}
+		fmt.Println("  expected shape: answers identical at every shard count; ≥4 shards beat")
+		fmt.Println("  the single-DB wall-clock. Each node's pivot scan, probe and χ-projection")
+		fmt.Println("  divide across shards (scatter scales with cores) while the broadcast side")
+		fmt.Println("  is bound and indexed exactly once; even on one core the smaller per-shard")
+		fmt.Println("  dedup maps and output tables win on locality")
+		return nil
+	}},
 }
 
 func qwRow(q *hypertree.Query, name string, want int) error {

@@ -4,6 +4,7 @@
 //
 //	qeval -query queryfile -db factsfile [-db2 factsfile ...]
 //	      [-strategy auto|naive|acyclic|hd|ghd|qd] [-workers N] [-timeout D]
+//	      [-shards N] [-partition hash|rr]
 //
 // The query file holds one rule ("ans(X) :- r(X,Y), s(Y,Z)."); each facts
 // file holds ground atoms, one or more per line ("r(a,b). s(b,c)."). For a
@@ -11,6 +12,11 @@
 // query is compiled once and the plan is executed against every database —
 // the amortisation of Theorem 4.7 (with -time, compile and per-database
 // execution are reported separately).
+//
+// With -shards N > 0 each database is partitioned N ways (-partition picks
+// hash or round-robin tuple placement) and the plan runs through
+// ExecuteSharded: per-node λ-joins materialise shard-parallel and merge,
+// answer-identically to the unsharded run.
 package main
 
 import (
@@ -32,17 +38,28 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines for search and reduction")
 		timeout   = flag.Duration("timeout", 0, "abort compilation/evaluation after this duration")
 		timing    = flag.Bool("time", false, "print compile and evaluation wall time")
+		shards    = flag.Int("shards", 0, "partition each database N ways and execute sharded (0 = off)")
+		partition = flag.String("partition", "hash", "tuple placement for -shards: hash | rr")
 	)
 	flag.Parse()
-	if err := run(*queryFile, *dbFile, *dbFile2, *strategy, *workers, *timeout, *timing); err != nil {
+	if err := run(*queryFile, *dbFile, *dbFile2, *strategy, *workers, *timeout, *timing, *shards, *partition); err != nil {
 		fmt.Fprintln(os.Stderr, "qeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout time.Duration, timing bool) error {
+func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout time.Duration, timing bool, shards int, partition string) error {
 	if queryFile == "" || dbFile == "" {
 		return fmt.Errorf("both -query and -db are required")
+	}
+	var strategy hypertree.PartitionStrategy
+	switch partition {
+	case "hash":
+		strategy = hypertree.HashPartition
+	case "rr", "round-robin":
+		strategy = hypertree.RoundRobinPartition
+	default:
+		return fmt.Errorf("unknown partition strategy %q", partition)
 	}
 	qsrc, err := os.ReadFile(queryFile)
 	if err != nil {
@@ -108,11 +125,26 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 		if len(files) > 1 {
 			fmt.Printf("-- %s --\n", f)
 		}
-		start = time.Now()
-		table, err := plan.Execute(ctx, db)
-		elapsed := time.Since(start)
-		if err != nil {
-			return err
+		var table *hypertree.Table
+		var elapsed time.Duration
+		if shards > 0 {
+			pdb, err := hypertree.PartitionDatabase(db, shards, strategy)
+			if err != nil {
+				return err
+			}
+			start = time.Now()
+			table, err = plan.ExecuteSharded(ctx, pdb)
+			elapsed = time.Since(start)
+			if err != nil {
+				return err
+			}
+		} else {
+			start = time.Now()
+			table, err = plan.Execute(ctx, db)
+			elapsed = time.Since(start)
+			if err != nil {
+				return err
+			}
 		}
 		if q.IsBoolean() {
 			fmt.Println(!table.Empty())

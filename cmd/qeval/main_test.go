@@ -20,15 +20,15 @@ func TestRunAllStrategies(t *testing.T) {
 	q := write(t, "q.cq", `r(X,Y), s(Y,Z), t(Z,X).`)
 	db := write(t, "f.db", "r(a,b). s(b,c). t(c,a).")
 	for _, s := range []string{"auto", "naive", "hd", "ghd", "qd"} {
-		if err := run(q, db, "", s, 0, 0, true); err != nil {
+		if err := run(q, db, "", s, 0, 0, true, 0, "hash"); err != nil {
 			t.Errorf("strategy %s: %v", s, err)
 		}
 	}
 	// acyclic strategy on a cyclic query must fail
-	if err := run(q, db, "", "acyclic", 0, 0, false); err == nil {
+	if err := run(q, db, "", "acyclic", 0, 0, false, 0, "hash"); err == nil {
 		t.Error("acyclic strategy on cyclic query accepted")
 	}
-	if err := run(q, db, "", "bogus", 0, 0, false); err == nil {
+	if err := run(q, db, "", "bogus", 0, 0, false, 0, "hash"); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }
@@ -36,7 +36,7 @@ func TestRunAllStrategies(t *testing.T) {
 func TestRunNonBoolean(t *testing.T) {
 	q := write(t, "q.cq", `ans(X) :- r(X,Y), s(Y,Z).`)
 	db := write(t, "f.db", "r(a,b). s(b,c).")
-	if err := run(q, db, "", "auto", 0, 0, false); err != nil {
+	if err := run(q, db, "", "auto", 0, 0, false, 0, "hash"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -45,26 +45,39 @@ func TestRunPlanReuseAcrossDatabases(t *testing.T) {
 	q := write(t, "q.cq", `r(X,Y), s(Y,Z), t(Z,X).`)
 	db1 := write(t, "f1.db", "r(a,b). s(b,c). t(c,a).")
 	db2 := write(t, "f2.db", "r(a,b). s(b,c).")
-	if err := run(q, db1, db2, "hd", 2, time.Minute, true); err != nil {
+	if err := run(q, db1, db2, "hd", 2, time.Minute, true, 0, "hash"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", "auto", 0, 0, false); err == nil {
+	if err := run("", "", "", "auto", 0, 0, false, 0, "hash"); err == nil {
 		t.Error("missing flags accepted")
 	}
 	q := write(t, "q.cq", `r(X).`)
-	if err := run(q, "/does/not/exist", "", "auto", 0, 0, false); err == nil {
+	if err := run(q, "/does/not/exist", "", "auto", 0, 0, false, 0, "hash"); err == nil {
 		t.Error("missing db accepted")
 	}
 	bad := write(t, "bad.db", "zzz")
-	if err := run(q, bad, "", "auto", 0, 0, false); err == nil {
+	if err := run(q, bad, "", "auto", 0, 0, false, 0, "hash"); err == nil {
 		t.Error("malformed facts accepted")
 	}
 	badQ := write(t, "bad.cq", "((")
 	db := write(t, "f.db", "r(a).")
-	if err := run(badQ, db, "", "auto", 0, 0, false); err == nil {
+	if err := run(badQ, db, "", "auto", 0, 0, false, 0, "hash"); err == nil {
 		t.Error("malformed query accepted")
+	}
+}
+
+func TestRunSharded(t *testing.T) {
+	q := write(t, "q.cq", `ans(X) :- r(X,Y), s(Y,Z), t(Z,X).`)
+	db := write(t, "f.db", "r(a,b). s(b,c). t(c,a). r(x,y).")
+	for _, part := range []string{"hash", "rr"} {
+		if err := run(q, db, "", "hd", 0, 0, true, 3, part); err != nil {
+			t.Errorf("sharded %s: %v", part, err)
+		}
+	}
+	if err := run(q, db, "", "hd", 0, 0, false, 3, "bogus"); err == nil {
+		t.Error("unknown partition strategy accepted")
 	}
 }

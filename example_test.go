@@ -1,0 +1,98 @@
+package hypertree_test
+
+import (
+	"context"
+	"fmt"
+
+	"hypertree"
+)
+
+// The compile-once / execute-many shape of Theorem 4.7: the decomposition
+// search runs once in Compile, the Plan then executes against any database.
+func Example() {
+	q, err := hypertree.ParseQuery(`ans(S) :- enrolled(S,C,R), teaches(P,C,A), parent(P,S).`)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := hypertree.Compile(q) // the width search runs here, once
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("width:", plan.Width())
+
+	db := hypertree.NewDatabase()
+	db.ParseFacts(`enrolled(ann,cs1,jan). teaches(bob,cs1,y). parent(bob,ann).`)
+	table, err := plan.Execute(context.Background(), db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("answers:", table.Rows())
+	// Output:
+	// width: 2
+	// answers: 1
+}
+
+// Execute returns the answer table over the head variables; StringWith
+// renders it sorted, with the database's constant names.
+func ExamplePlan_Execute() {
+	q := hypertree.MustParseQuery(`ans(X, Z) :- r(X, Y), s(Y, Z).`)
+	plan, err := hypertree.Compile(q)
+	if err != nil {
+		panic(err)
+	}
+	db := hypertree.NewDatabase()
+	db.ParseFacts(`r(a,b). r(c,b). s(b,d).`)
+	table, err := plan.Execute(context.Background(), db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(table.StringWith(db, q.VarName))
+	// Output:
+	// (X,Z)
+	// a,d
+	// c,d
+}
+
+// ExecuteSharded evaluates through a partitioned database: per-node λ-joins
+// materialise shard-parallel and merge back, answer-identically to Execute.
+func ExamplePlan_ExecuteSharded() {
+	q := hypertree.MustParseQuery(`ans(X) :- r(X, Y), s(Y, Z), t(Z, X).`)
+	plan, err := hypertree.Compile(q)
+	if err != nil {
+		panic(err)
+	}
+	db := hypertree.NewDatabase()
+	db.ParseFacts(`r(a,b). s(b,c). t(c,a). r(a,z).`)
+	pdb, err := hypertree.PartitionDatabase(db, 4, hypertree.HashPartition)
+	if err != nil {
+		panic(err)
+	}
+	table, err := plan.ExecuteSharded(context.Background(), pdb)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(table.StringWith(db, q.VarName))
+	// Output:
+	// (X)
+	// a
+}
+
+// A PlanCache makes recompilation of α-equivalent queries free: the cache
+// key is the canonical query form plus the compile options.
+func ExamplePlanCache() {
+	cache := hypertree.NewPlanCache(128)
+	ctx := context.Background()
+	q1 := hypertree.MustParseQuery(`r(X,Y), s(Y,X)`)
+	q2 := hypertree.MustParseQuery(`r(A,B), s(B,A)`) // same query, renamed
+
+	if _, err := cache.Compile(ctx, q1); err != nil {
+		panic(err)
+	}
+	if _, err := cache.Compile(ctx, q2); err != nil {
+		panic(err)
+	}
+	m := cache.Metrics()
+	fmt.Printf("hits=%d misses=%d cached=%d\n", m.Hits, m.Misses, m.Len)
+	// Output:
+	// hits=1 misses=1 cached=1
+}

@@ -29,6 +29,7 @@ func Var(name string) Term { return Term{Name: name, IsVar: true} }
 // Const returns a constant term.
 func Const(name string) Term { return Term{Name: name} }
 
+// String returns the term as it appears in a query.
 func (t Term) String() string { return t.Name }
 
 // Atom is a predicate applied to terms. Within a Query, atoms are identified
@@ -39,6 +40,7 @@ type Atom struct {
 	Args []Term
 }
 
+// String renders the atom as pred(arg1, ..., argn).
 func (a Atom) String() string {
 	parts := make([]string, len(a.Args))
 	for i, t := range a.Args {

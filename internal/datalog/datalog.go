@@ -28,6 +28,7 @@ type Literal struct {
 	Args []Term
 }
 
+// String renders the literal, with a "not " prefix when negated.
 func (l Literal) String() string {
 	parts := make([]string, len(l.Args))
 	for i, t := range l.Args {
@@ -46,6 +47,7 @@ type Rule struct {
 	Body []Literal
 }
 
+// String renders the rule in head :- body form.
 func (r Rule) String() string {
 	if len(r.Body) == 0 {
 		return r.Head.String() + "."
@@ -120,6 +122,7 @@ func (a Atom) key() string {
 	return a.Pred + "(" + strings.Join(a.Args, "\x00") + ")"
 }
 
+// String renders the ground atom as pred(arg1,...,argn).
 func (a Atom) String() string {
 	return a.Pred + "(" + strings.Join(a.Args, ",") + ")"
 }

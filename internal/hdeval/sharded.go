@@ -1,0 +1,215 @@
+package hdeval
+
+import (
+	"context"
+	"fmt"
+
+	"hypertree/internal/cq"
+	"hypertree/internal/decomp"
+	"hypertree/internal/relation"
+	"hypertree/internal/shard"
+	"hypertree/internal/yannakakis"
+)
+
+// This file is the partitioned-database execution path of the Lemma 4.6
+// evaluation. Each decomposition node's λ-join distributes over the shards
+// of a PartitionedDB by fragment-and-replicate: the λ atom backed by the
+// largest relation (the pivot) is bound shard by shard, every other λ atom
+// is bound once against the assembled view and indexed once (a reusable
+// relation.JoinIndex), and each shard joins its pivot fragment through the
+// shared index chain and projects to χ. Join distributes over union, so
+// unioning the per-shard χ-tables in shard order reproduces exactly the
+// single-database node table — and because shard fragments are disjoint and
+// atom binding is injective on the tuples that pass its selections, the
+// merge needs no cross-shard deduplication whenever χ keeps every pivot
+// column (the common case); otherwise a deduplicating union runs.
+
+// RootSharded materialises the acyclic instance of Lemma 4.6 against a
+// partitioned database: per node, the λ-join fans out across the shards on
+// up to shardWorkers goroutines (≤ 0 means one per shard) and the per-shard
+// answer tables are merged deterministically. The resulting tree is
+// answer-identical to Root(ctx, p.Assembled()).
+func (e *Evaluator) RootSharded(ctx context.Context, p *shard.PartitionedDB, shardWorkers int) (*yannakakis.Node, error) {
+	if e.HD.Root == nil { // no variable atoms: nothing to materialise
+		ok, err := yannakakis.GroundAtomsHold(p.Assembled(), e.Q)
+		if err != nil {
+			return nil, err
+		}
+		t := relation.TrueTable()
+		if !ok {
+			t = relation.NewTable(nil)
+		}
+		return &yannakakis.Node{Table: t}, nil
+	}
+	b := &shardedBuilder{
+		ctx:     ctx,
+		p:       p,
+		e:       e,
+		workers: shardWorkers,
+		full:    &rootBuilder{ctx: ctx, db: p.Assembled(), e: e, atomTables: map[int]*relation.Table{}},
+	}
+	root, err := b.build(e.HD.Root)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := yannakakis.GroundAtomsHold(p.Assembled(), e.Q)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		root.Table = relation.NewTable(root.Table.Vars)
+	}
+	return root, nil
+}
+
+// shardedBuilder carries the state of one RootSharded materialisation. The
+// broadcast-side atom binds run through an embedded rootBuilder pointed at
+// the assembled view, sharing its memo (each non-pivot λ atom is bound
+// once, however many nodes and shards touch it).
+type shardedBuilder struct {
+	ctx     context.Context
+	p       *shard.PartitionedDB
+	e       *Evaluator
+	workers int
+	full    *rootBuilder // assembled-view binder + memo
+}
+
+// atomBindVars returns the variable sequence of the table BindAtom
+// produces for atom ai, by asking Bind itself: the atom is bound against
+// an empty database (O(arity), no tuples scanned), so the column
+// convention is defined in exactly one place and every shard fragment is
+// guaranteed to match the JoinIndex chain built from it.
+func atomBindVars(q *cq.Query, ai int) ([]int, error) {
+	empty, err := yannakakis.BindAtom(relation.NewDatabase(), q, ai)
+	if err != nil {
+		return nil, err
+	}
+	return empty.Vars, nil
+}
+
+func (b *shardedBuilder) build(n *decomp.Node) (*yannakakis.Node, error) {
+	if err := b.ctx.Err(); err != nil {
+		return nil, err
+	}
+	t, err := b.materializeSharded(n)
+	if err != nil {
+		return nil, err
+	}
+	out := &yannakakis.Node{Table: t}
+	for _, c := range n.Children {
+		cn, err := b.build(c)
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, cn)
+	}
+	return out, nil
+}
+
+// materializeSharded computes the χ-projection of node n's λ-join by
+// scatter-gather over the shards.
+func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, error) {
+	lam := n.Lambda.Elems()
+	if len(lam) == 0 {
+		return nil, fmt.Errorf("hdeval: decomposition node with empty λ")
+	}
+	// Pivot: the λ edge backed by the most tuples — its fragments carry the
+	// bulk of the scan work, so fragmenting it balances the shards best.
+	// Ties break to the smallest edge id; the choice is deterministic.
+	pivot := lam[0]
+	for _, e2 := range lam[1:] {
+		if b.rowsOf(e2) > b.rowsOf(pivot) {
+			pivot = e2
+		}
+	}
+	// Broadcast side: bind the remaining λ atoms once and chain one
+	// JoinIndex per atom, shared by every shard task.
+	curVars, err := atomBindVars(b.e.Q, b.e.edgeToAtom[pivot])
+	if err != nil {
+		return nil, err
+	}
+	pivotVars := curVars
+	var chain []*relation.JoinIndex
+	for _, e2 := range lam {
+		if e2 == pivot {
+			continue
+		}
+		ft, err := b.full.bind(e2)
+		if err != nil {
+			return nil, err
+		}
+		idx := relation.NewJoinIndex(curVars, ft)
+		chain = append(chain, idx)
+		curVars = idx.OutVars()
+	}
+	chi := b.e.chiElems[n]
+	parts, err := shard.Scatter(b.ctx, b.p, b.workers,
+		func(ctx context.Context, i int, db *relation.Database) (*relation.Table, error) {
+			frag, err := yannakakis.BindAtom(db, b.e.Q, b.e.edgeToAtom[pivot])
+			if err != nil {
+				return nil, err
+			}
+			t := frag
+			for _, idx := range chain {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				t = t.JoinOn(idx)
+			}
+			return t.Project(chi), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Binding is injective on the tuples that pass its selections and the
+	// join keeps the whole pivot row, so per-shard results are disjoint as
+	// long as the χ-projection keeps every pivot column — then the merge is
+	// a plain concatenation. A χ that drops pivot columns can collide
+	// across shards and takes the deduplicating union.
+	if containsAll(chi, pivotVars) {
+		return relation.Concat(parts...), nil
+	}
+	return relation.Union(parts...), nil
+}
+
+// rowsOf returns the total tuple count backing edge e2's atom.
+func (b *shardedBuilder) rowsOf(e2 int) int {
+	return b.p.Rows(b.e.Q.Atoms[b.e.edgeToAtom[e2]].Pred)
+}
+
+// containsAll reports whether set contains every element of elems.
+func containsAll(set, elems []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range elems {
+		if !in[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// BooleanSharded decides the query against a partitioned database: node
+// tables materialise shard-parallel (RootSharded), then the usual bottom-up
+// semijoin pass runs. The verdict equals Boolean on the assembled database.
+func (e *Evaluator) BooleanSharded(ctx context.Context, p *shard.PartitionedDB, shardWorkers int) (bool, error) {
+	root, err := e.RootSharded(ctx, p, shardWorkers)
+	if err != nil {
+		return false, err
+	}
+	return yannakakis.BooleanContext(ctx, root)
+}
+
+// EnumerateSharded computes the full answer relation against a partitioned
+// database: node tables materialise shard-parallel, then the full reducer
+// and enumeration run on up to reduceWorkers goroutines. The answer set
+// equals Enumerate on the assembled database.
+func (e *Evaluator) EnumerateSharded(ctx context.Context, p *shard.PartitionedDB, shardWorkers, reduceWorkers int) (*relation.Table, error) {
+	root, err := e.RootSharded(ctx, p, shardWorkers)
+	if err != nil {
+		return nil, err
+	}
+	return yannakakis.EnumerateContext(ctx, root, e.head, reduceWorkers)
+}

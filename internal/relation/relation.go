@@ -17,17 +17,20 @@ import (
 // Value is an interned constant.
 type Value = int32
 
-// Database holds relations and the constant dictionary.
+// Database holds relations and the constant dictionary. The dictionary
+// lives behind a pointer so that CloneSchema shards share it fully: a
+// constant interned through any sharing database is immediately visible —
+// with the same Value and name — through all of them.
 type Database struct {
 	dict  map[string]Value
-	names []string
+	names *[]string
 	rels  map[string]*Relation
 	order []string // relation insertion order, for deterministic iteration
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{dict: map[string]Value{}, rels: map[string]*Relation{}}
+	return &Database{dict: map[string]Value{}, names: new([]string), rels: map[string]*Relation{}}
 }
 
 // Intern returns the Value for a constant, creating it if needed.
@@ -35,8 +38,8 @@ func (db *Database) Intern(s string) Value {
 	if v, ok := db.dict[s]; ok {
 		return v
 	}
-	v := Value(len(db.names))
-	db.names = append(db.names, s)
+	v := Value(len(*db.names))
+	*db.names = append(*db.names, s)
 	db.dict[s] = v
 	return v
 }
@@ -48,10 +51,10 @@ func (db *Database) Lookup(s string) (Value, bool) {
 }
 
 // ValueName returns the constant spelled by v.
-func (db *Database) ValueName(v Value) string { return db.names[v] }
+func (db *Database) ValueName(v Value) string { return (*db.names)[v] }
 
 // UniverseSize returns the number of interned constants.
-func (db *Database) UniverseSize() int { return len(db.names) }
+func (db *Database) UniverseSize() int { return len(*db.names) }
 
 // Relation returns the named relation, or nil.
 func (db *Database) Relation(name string) *Relation { return db.rels[name] }
@@ -86,6 +89,24 @@ func (db *Database) AddFact(name string, args ...string) error {
 	}
 	r.Add(vals...)
 	return nil
+}
+
+// CloneSchema returns an empty database with db's relation schema (names,
+// arities, insertion order, no tuples) that shares db's constant dictionary
+// by reference — including constants interned into either database after
+// the clone: a Value means the same constant everywhere, which is what
+// makes cross-database tuple movement (sharding) a plain copy of values.
+// Because the dictionary is shared, interning through any sharing database
+// while another is in use is not safe for concurrent use; partition after
+// loading and treat all views as read-only during evaluation.
+func (db *Database) CloneSchema() *Database {
+	out := &Database{dict: db.dict, names: db.names, rels: map[string]*Relation{}}
+	for _, name := range db.order {
+		r := db.rels[name]
+		out.rels[name] = &Relation{Name: name, Arity: r.Arity}
+		out.order = append(out.order, name)
+	}
+	return out
 }
 
 // MaxRelationSize returns max tuples over all relations (the paper's r).
@@ -170,6 +191,17 @@ func (r *Relation) Add(vals ...Value) {
 	}
 	r.index[key] = true
 	r.data = append(r.data, vals...)
+}
+
+// Has reports whether the relation already holds the tuple.
+func (r *Relation) Has(vals ...Value) bool {
+	if len(vals) != r.Arity {
+		return false
+	}
+	if r.Arity == 0 {
+		return r.index["ε"]
+	}
+	return r.index[encode(vals)]
 }
 
 func encode(vals []Value) string {

@@ -1,0 +1,251 @@
+// Package shard partitions databases across N shards and provides the
+// scatter-gather machinery behind partition-parallel query evaluation.
+//
+// The data-complexity reading of Theorem 4.7 says that once a width-k
+// decomposition is fixed, evaluation cost is polynomial in the database —
+// so the database axis is where parallel scale lives. A PartitionedDB
+// splits every relation of a database into N disjoint fragments (by tuple
+// hash or round-robin); the Lemma 4.6 per-node λ-join then distributes over
+// that union (fragment-and-replicate: scan the pivot relation shard by
+// shard, broadcast the rest), and the per-shard node tables merge back into
+// exactly the single-database node table. See internal/hdeval for the
+// evaluation side.
+//
+// Invariant: every tuple of every relation lives on exactly one shard.
+// Partition routes each (set-semantics, hence duplicate-free) tuple once,
+// and the incremental AddFact path drops duplicates before routing, so the
+// invariant holds for both hash and round-robin placement. Disjoint
+// fragments are what let the merge skip cross-shard deduplication whenever
+// the projection keeps every fragment column.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"hypertree/internal/relation"
+)
+
+// Strategy selects how tuples are placed on shards.
+type Strategy int
+
+const (
+	// Hash places a tuple by the FNV-1a hash of its constants' names, so
+	// the same fact lands on the same shard regardless of insertion order
+	// or dictionary state — placement is stable across loads and across
+	// databases, which is what incremental ingest and repeatable
+	// experiments want. Balance is statistical (uniform in expectation).
+	Hash Strategy = iota
+	// RoundRobin stripes tuples over shards in insertion order, giving
+	// perfectly even fragment sizes (max−min ≤ 1 per relation) even when
+	// the value distribution is heavily skewed — the right choice when
+	// balance matters more than placement stability.
+	RoundRobin
+)
+
+// String names the strategy ("hash" or "round-robin").
+func (s Strategy) String() string {
+	switch s {
+	case Hash:
+		return "hash"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// A PartitionedDB is a database split across N shards: each shard is a
+// relation.Database holding a disjoint fragment of every relation, all
+// sharing one constant dictionary (so values mean the same thing on every
+// shard and in the assembled view). Build one with Partition (split an
+// existing database) or New (incremental ingest via AddFact). Once built,
+// a PartitionedDB is read-only for evaluation and safe for concurrent use.
+type PartitionedDB struct {
+	strategy Strategy
+	base     *relation.Database // assembled view: every tuple, one dictionary
+	shards   []*relation.Database
+
+	mu sync.Mutex
+	rr map[string]int // round-robin cursor per relation (ingest only)
+}
+
+// New returns an empty PartitionedDB of n ≥ 1 shards, to be filled through
+// AddFact.
+func New(n int, s Strategy) (*PartitionedDB, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	base := relation.NewDatabase()
+	p := &PartitionedDB{strategy: s, base: base, rr: map[string]int{}}
+	for i := 0; i < n; i++ {
+		p.shards = append(p.shards, base.CloneSchema())
+	}
+	return p, nil
+}
+
+// Partition splits db into n ≥ 1 disjoint shards. The shards share db's
+// constant dictionary (no values are re-interned), db itself becomes the
+// assembled view, and db must not be mutated while the PartitionedDB is in
+// use.
+func Partition(db *relation.Database, n int, s Strategy) (*PartitionedDB, error) {
+	if db == nil {
+		return nil, fmt.Errorf("shard: Partition of a nil database")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	p := &PartitionedDB{strategy: s, base: db, rr: map[string]int{}}
+	for i := 0; i < n; i++ {
+		p.shards = append(p.shards, db.CloneSchema())
+	}
+	for _, name := range db.RelationNames() {
+		src := db.Relation(name)
+		frags := make([]*relation.Relation, n)
+		for i, sh := range p.shards {
+			f, err := sh.AddRelation(name, src.Arity)
+			if err != nil {
+				return nil, err
+			}
+			frags[i] = f
+		}
+		for i := 0; i < src.Rows(); i++ {
+			row := src.Row(i)
+			frags[p.route(name, row)].Add(row...)
+		}
+	}
+	return p, nil
+}
+
+// route picks the shard for one tuple. Callers on the ingest path hold
+// p.mu; Partition is single-goroutine.
+func (p *PartitionedDB) route(name string, row []relation.Value) int {
+	if len(p.shards) == 1 {
+		return 0
+	}
+	switch p.strategy {
+	case RoundRobin:
+		i := p.rr[name]
+		p.rr[name] = (i + 1) % len(p.shards)
+		return i
+	default: // Hash
+		h := fnv.New64a()
+		for _, v := range row {
+			h.Write([]byte(p.base.ValueName(v)))
+			h.Write([]byte{0})
+		}
+		return int(h.Sum64() % uint64(len(p.shards)))
+	}
+}
+
+// AddFact ingests the ground atom name(args...) — into the assembled view
+// and onto exactly one shard. A duplicate of an already-ingested fact is a
+// no-op (set semantics), preserving the one-shard-per-tuple invariant even
+// under round-robin placement. Ingest is serialised internally but must not
+// run concurrently with evaluation.
+func (p *PartitionedDB) AddFact(name string, args ...string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	row := make([]relation.Value, len(args))
+	// A fact is a duplicate iff every constant is already interned and the
+	// assembled view holds the tuple; detect that before AddFact interns.
+	newRel := true
+	dup := false
+	if r := p.base.Relation(name); r != nil {
+		newRel = false
+		if r.Arity == len(args) {
+			known := true
+			for i, a := range args {
+				v, ok := p.base.Lookup(a)
+				if !ok {
+					known = false
+					break
+				}
+				row[i] = v
+			}
+			dup = known && r.Has(row...)
+		}
+	}
+	if err := p.base.AddFact(name, args...); err != nil {
+		return err
+	}
+	if dup {
+		return nil // already placed on its shard
+	}
+	for i, a := range args {
+		v, _ := p.base.Lookup(a)
+		row[i] = v
+	}
+	if newRel { // every shard learns the schema on first appearance only
+		for _, sh := range p.shards {
+			if _, err := sh.AddRelation(name, len(args)); err != nil {
+				return err
+			}
+		}
+	}
+	p.shards[p.route(name, row)].Relation(name).Add(row...)
+	return nil
+}
+
+// NumShards returns the number of shards.
+func (p *PartitionedDB) NumShards() int { return len(p.shards) }
+
+// Strategy returns the placement strategy.
+func (p *PartitionedDB) Strategy() Strategy { return p.strategy }
+
+// Shard returns the i-th shard as a read-only database view.
+func (p *PartitionedDB) Shard(i int) *relation.Database { return p.shards[i] }
+
+// Assembled returns the unpartitioned view holding every tuple — the
+// database Partition split, or the union of everything AddFact ingested.
+// Broadcast relations and ground-atom checks of sharded evaluation bind
+// against it.
+func (p *PartitionedDB) Assembled() *relation.Database { return p.base }
+
+// Rows returns the total number of tuples of the named relation across all
+// shards (0 for an unknown relation) — the statistic pivot selection uses.
+func (p *PartitionedDB) Rows(name string) int {
+	if r := p.base.Relation(name); r != nil {
+		return r.Rows()
+	}
+	return 0
+}
+
+// Scatter runs fn once per shard — fn(ctx, i, p.Shard(i)) — on up to
+// workers goroutines (workers ≤ 0 or > NumShards means one per shard) and
+// gathers the results in shard order, which keeps every downstream merge
+// deterministic. The first error wins and is returned after all started
+// calls finish; a context cancelled mid-scatter stops unstarted calls
+// before they touch their shard.
+func Scatter[T any](ctx context.Context, p *PartitionedDB, workers int, fn func(ctx context.Context, i int, db *relation.Database) (T, error)) ([]T, error) {
+	n := p.NumShards()
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = fn(ctx, i, p.shards[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

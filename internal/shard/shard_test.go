@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hypertree/internal/relation"
+)
+
+func randomDB(rng *rand.Rand, rels, rows, domain int) *relation.Database {
+	db := relation.NewDatabase()
+	for r := 0; r < rels; r++ {
+		name := fmt.Sprintf("r%d", r)
+		for i := 0; i < rows; i++ {
+			db.AddFact(name, fmt.Sprintf("d%d", rng.Intn(domain)), fmt.Sprintf("d%d", rng.Intn(domain)))
+		}
+	}
+	return db
+}
+
+// every tuple must land on exactly one shard, for both strategies.
+func TestPartitionExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, 3, 200, 40)
+	for _, s := range []Strategy{Hash, RoundRobin} {
+		for _, n := range []int{1, 2, 7} {
+			p, err := Partition(db, n, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.NumShards() != n || p.Strategy() != s {
+				t.Fatalf("metadata wrong")
+			}
+			for _, name := range db.RelationNames() {
+				src := db.Relation(name)
+				total := 0
+				for i := 0; i < n; i++ {
+					frag := p.Shard(i).Relation(name)
+					if frag == nil {
+						t.Fatalf("%s/%s: shard %d missing relation", s, name, i)
+					}
+					if frag.Arity != src.Arity {
+						t.Fatalf("arity mangled")
+					}
+					total += frag.Rows()
+					for j := 0; j < frag.Rows(); j++ {
+						row := frag.Row(j)
+						if !src.Has(row...) {
+							t.Fatalf("%s/%s: shard %d holds a tuple the source lacks", s, name, i)
+						}
+						for k := i + 1; k < n; k++ {
+							if other := p.Shard(k).Relation(name); other.Has(row...) {
+								t.Fatalf("%s/%s: tuple on shards %d and %d", s, name, i, k)
+							}
+						}
+					}
+				}
+				if total != src.Rows() {
+					t.Fatalf("%s/%s at n=%d: %d tuples across shards, source has %d",
+						s, name, n, total, src.Rows())
+				}
+				if p.Rows(name) != src.Rows() {
+					t.Fatalf("Rows(%s) = %d, want %d", name, p.Rows(name), src.Rows())
+				}
+			}
+			if p.Assembled() != db {
+				t.Fatalf("Partition must keep the source as the assembled view")
+			}
+		}
+	}
+}
+
+// round-robin fragments differ in size by at most one.
+func TestRoundRobinBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := randomDB(rng, 1, 500, 1000)
+	p, err := Partition(db, 7, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minR, maxR := 1<<30, 0
+	for i := 0; i < 7; i++ {
+		r := p.Shard(i).Relation("r0").Rows()
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR-minR > 1 {
+		t.Fatalf("round-robin imbalance: min %d max %d", minR, maxR)
+	}
+}
+
+// hash placement depends only on the fact, not on insertion order or
+// dictionary state.
+func TestHashPlacementStable(t *testing.T) {
+	mk := func(reversed bool) map[string]int {
+		db := relation.NewDatabase()
+		facts := [][2]string{{"a", "b"}, {"c", "d"}, {"e", "f"}, {"g", "h"}, {"i", "j"}}
+		if reversed {
+			db.AddFact("noise", "zzz") // shift the dictionary
+			for i := len(facts) - 1; i >= 0; i-- {
+				db.AddFact("r", facts[i][0], facts[i][1])
+			}
+		} else {
+			for _, f := range facts {
+				db.AddFact("r", f[0], f[1])
+			}
+		}
+		p, err := Partition(db, 5, Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed := map[string]int{}
+		for i := 0; i < 5; i++ {
+			frag := p.Shard(i).Relation("r")
+			for j := 0; j < frag.Rows(); j++ {
+				row := frag.Row(j)
+				placed[p.Shard(i).ValueName(row[0])] = i
+			}
+		}
+		return placed
+	}
+	a, b := mk(false), mk(true)
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("hash placement of %q moved from shard %d to %d under reordering", k, v, b[k])
+		}
+	}
+}
+
+func TestIncrementalIngestDedups(t *testing.T) {
+	for _, s := range []Strategy{Hash, RoundRobin} {
+		p, err := New(3, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ { // ingest everything twice
+			if err := p.AddFact("r", "a", "b"); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.AddFact("r", "c", "d"); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.AddFact("s", "x"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := p.Assembled().Relation("r").Rows(); got != 2 {
+			t.Fatalf("%s: assembled r has %d rows, want 2", s, got)
+		}
+		total := 0
+		for i := 0; i < 3; i++ {
+			total += p.Shard(i).Relation("r").Rows()
+		}
+		if total != 2 {
+			t.Fatalf("%s: duplicate ingest spread %d copies across shards", s, total)
+		}
+		if err := p.AddFact("r", "onlyone"); err == nil {
+			t.Fatalf("arity mismatch not rejected")
+		}
+	}
+}
+
+func TestNewAndPartitionValidate(t *testing.T) {
+	if _, err := New(0, Hash); err == nil {
+		t.Fatalf("New(0) must fail")
+	}
+	if _, err := Partition(nil, 2, Hash); err == nil {
+		t.Fatalf("Partition(nil) must fail")
+	}
+	if _, err := Partition(relation.NewDatabase(), 0, Hash); err == nil {
+		t.Fatalf("Partition with 0 shards must fail")
+	}
+}
+
+func TestScatterGathersInShardOrder(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(3)), 1, 50, 10)
+	p, err := Partition(db, 4, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Scatter(context.Background(), p, 2,
+		func(_ context.Context, i int, sh *relation.Database) (int, error) {
+			time.Sleep(time.Duration(3-i) * time.Millisecond) // finish out of order
+			return i * 10, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Fatalf("results out of shard order: %v", got)
+		}
+	}
+}
+
+func TestScatterPropagatesErrorAndCancel(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(4)), 1, 50, 10)
+	p, err := Partition(db, 6, Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := Scatter(context.Background(), p, 3,
+		func(_ context.Context, i int, _ *relation.Database) (int, error) {
+			if i == 4 {
+				return 0, boom
+			}
+			return 0, nil
+		}); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Scatter(ctx, p, 2,
+		func(context.Context, int, *relation.Database) (int, error) {
+			t.Errorf("task ran under a cancelled context")
+			return 0, nil
+		}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation not surfaced: %v", err)
+	}
+}
+
+// Constants interned after a shard was created (incremental ingest) must be
+// nameable through every shard view — regression test for a stale shared
+// dictionary snapshot.
+func TestIncrementalShardSeesLaterConstants(t *testing.T) {
+	p, err := New(2, Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddFact("r", "late", "comer"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := 0; i < p.NumShards(); i++ {
+		sh := p.Shard(i)
+		frag := sh.Relation("r")
+		for j := 0; j < frag.Rows(); j++ {
+			row := frag.Row(j)
+			if sh.ValueName(row[0]) != "late" || sh.ValueName(row[1]) != "comer" {
+				t.Fatalf("shard %d names tuple as (%s,%s)", i, sh.ValueName(row[0]), sh.ValueName(row[1]))
+			}
+			if sh.UniverseSize() != p.Assembled().UniverseSize() {
+				t.Fatalf("shard universe %d != assembled %d", sh.UniverseSize(), p.Assembled().UniverseSize())
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fact was not placed on any shard")
+	}
+}

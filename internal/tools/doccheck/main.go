@@ -1,0 +1,165 @@
+// Command doccheck enforces godoc coverage: it fails (exit 1) when a
+// package in the given directories exports an identifier — function, method
+// on an exported type, type, constant or variable — without a doc comment,
+// or lacks a package comment altogether. It is the documentation gate of
+// `make docs` and CI; the module has no third-party dependencies, so this
+// stands in for a linter like revive's exported rule.
+//
+// Usage:
+//
+//	doccheck [-r] [dir ...]   (default ".")
+//
+// With -r every subdirectory containing Go files is checked too (testdata
+// and hidden directories are skipped). Grouped const/var/type declarations
+// accept either a doc comment on the group or one per exported spec (a
+// trailing line comment counts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	recursive := flag.Bool("r", false, "descend into subdirectories holding Go files")
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	if *recursive {
+		var all []string
+		for _, root := range dirs {
+			filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil || !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if name == "testdata" || (len(name) > 1 && name[0] == '.') {
+					return filepath.SkipDir
+				}
+				if m, _ := filepath.Glob(filepath.Join(path, "*.go")); len(m) > 0 {
+					all = append(all, path)
+				}
+				return nil
+			})
+		}
+		dirs = all
+	}
+	bad := 0
+	for _, dir := range dirs {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses the package in dir (test files excluded) and reports
+// every undocumented exported identifier to stderr.
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s:%d: exported %s %s has no doc comment\n", p.Filename, p.Line, what, name)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc && len(pkg.Files) > 0 {
+			fmt.Fprintf(os.Stderr, "%s: package %s has no package comment\n", dir, pkg.Name)
+			bad++
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if recv, ok := receiverType(d); ok {
+						if !ast.IsExported(recv) {
+							continue // method on an unexported type
+						}
+						report(d.Pos(), "method", recv+"."+d.Name.Name)
+					} else {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return bad, nil
+}
+
+// receiverType returns the receiver's base type name of a method.
+func receiverType(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if g, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = g.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// checkGenDecl walks a const/var/type declaration; a doc comment on the
+// group covers every spec, otherwise each exported spec needs its own (a
+// trailing line comment counts).
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Doc != nil && !d.Lparen.IsValid() {
+		return // single documented spec
+	}
+	what := map[token.Token]string{token.CONST: "const", token.VAR: "var", token.TYPE: "type"}[d.Tok]
+	if what == "" {
+		return // import group
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), what, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), what, n.Name)
+				}
+			}
+		}
+	}
+}

@@ -20,26 +20,28 @@ import (
 // Execute and ExecuteBoolean may be called simultaneously against different
 // (or the same) databases.
 type Plan struct {
-	query       *Query
-	strategy    Strategy // resolved: never StrategyAuto
-	dec         *Decomposition
-	eval        *hdeval.Evaluator     // hypertree-strategy skeleton
-	jt          *JoinTree             // acyclic-strategy join tree (nil if ground-only)
-	yeval       *yannakakis.Evaluator // acyclic-strategy skeleton (nil if ground-only)
-	head        []int
-	workers     int
-	decomposer  string
-	generalized bool // decomposition validated as a GHD (conditions 1–3 only)
+	query        *Query
+	strategy     Strategy // resolved: never StrategyAuto
+	dec          *Decomposition
+	eval         *hdeval.Evaluator     // hypertree-strategy skeleton
+	jt           *JoinTree             // acyclic-strategy join tree (nil if ground-only)
+	yeval        *yannakakis.Evaluator // acyclic-strategy skeleton (nil if ground-only)
+	head         []int
+	workers      int
+	shardWorkers int
+	decomposer   string
+	generalized  bool // decomposition validated as a GHD (conditions 1–3 only)
 }
 
 // compileConfig is assembled by the functional options.
 type compileConfig struct {
-	strategy   Strategy
-	maxWidth   int
-	stepBudget int
-	workers    int
-	decomposer Decomposer
-	err        error // first invalid option
+	strategy     Strategy
+	maxWidth     int
+	stepBudget   int
+	workers      int
+	shardWorkers int
+	decomposer   Decomposer
+	err          error // first invalid option
 }
 
 // CompileOption is a functional option for Compile.
@@ -73,6 +75,14 @@ func WithMaxWidth(k int) CompileOption {
 // k-decomp search.
 func WithWorkers(n int) CompileOption {
 	return func(c *compileConfig) { c.workers = n }
+}
+
+// WithShardWorkers bounds the goroutines ExecuteSharded and
+// ExecuteBooleanSharded fan out across the shards of a PartitionedDB
+// (n ≤ 0, the default, means one worker per shard). It is independent of
+// WithWorkers, which governs the decomposition search and the reducer.
+func WithShardWorkers(n int) CompileOption {
+	return func(c *compileConfig) { c.shardWorkers = n }
 }
 
 // WithDecomposer plugs in a decomposition strategy (see Decomposer). The
@@ -160,10 +170,11 @@ func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 	}
 
 	p := &Plan{
-		query:    q,
-		strategy: strategy,
-		head:     head,
-		workers:  cfg.workers,
+		query:        q,
+		strategy:     strategy,
+		head:         head,
+		workers:      cfg.workers,
+		shardWorkers: cfg.shardWorkers,
 	}
 	switch strategy {
 	case StrategyNaive:
@@ -357,5 +368,55 @@ func (p *Plan) ExecuteBoolean(ctx context.Context, db *Database) (bool, error) {
 		return yannakakis.BooleanContext(ctx, root)
 	default: // StrategyHypertree
 		return p.eval.Boolean(ctx, db, p.workers)
+	}
+}
+
+// ExecuteSharded runs the plan against a partitioned database: each
+// decomposition node's λ-join materialises shard-parallel (the pivot
+// relation is scanned fragment by fragment, the rest of λ is bound once and
+// broadcast through a shared join index) and the per-shard node tables are
+// merged deterministically before the usual bottom-up semijoin pass. The
+// answer set is exactly Execute(ctx, pdb.Assembled()) — sharding changes
+// wall-clock, never answers. Plans whose strategy uses no decomposition
+// (naive, acyclic) execute against the assembled view directly. Safe for
+// concurrent use.
+func (p *Plan) ExecuteSharded(ctx context.Context, pdb *PartitionedDB) (*Table, error) {
+	if pdb == nil {
+		return nil, fmt.Errorf("hypertree: ExecuteSharded on a nil partitioned database")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.query.IsBoolean() {
+		ok, err := p.ExecuteBooleanSharded(ctx, pdb)
+		if err != nil {
+			return nil, err
+		}
+		return boolTable(ok), nil
+	}
+	switch p.strategy {
+	case StrategyNaive, StrategyAcyclic:
+		return p.Execute(ctx, pdb.Assembled())
+	default: // StrategyHypertree
+		return p.eval.EnumerateSharded(ctx, pdb, p.shardWorkers, p.workers)
+	}
+}
+
+// ExecuteBooleanSharded decides satisfiability against a partitioned
+// database, materialising the decomposition node tables shard-parallel and
+// then running the semijoin-only pass. The verdict is exactly
+// ExecuteBoolean(ctx, pdb.Assembled()).
+func (p *Plan) ExecuteBooleanSharded(ctx context.Context, pdb *PartitionedDB) (bool, error) {
+	if pdb == nil {
+		return false, fmt.Errorf("hypertree: ExecuteBooleanSharded on a nil partitioned database")
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	switch p.strategy {
+	case StrategyNaive, StrategyAcyclic:
+		return p.ExecuteBoolean(ctx, pdb.Assembled())
+	default: // StrategyHypertree
+		return p.eval.BooleanSharded(ctx, pdb, p.shardWorkers)
 	}
 }

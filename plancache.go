@@ -143,7 +143,8 @@ func (c *PlanCache) sweepLocked() {
 	}
 }
 
-// Stats returns the cumulative hit and miss counters.
+// Stats returns the cumulative hit and miss counters. Like Metrics it is
+// safe to call concurrently with Compile from any number of goroutines.
 func (c *PlanCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -162,7 +163,10 @@ type CacheMetrics struct {
 // Metrics returns the cumulative counters plus the current size — the hook
 // for exporting cache behaviour to monitoring. The snapshot is atomic:
 // expired entries are swept and the counters read under one lock, so Len
-// and Evictions are mutually consistent.
+// and Evictions are mutually consistent. Metrics is safe under any mix of
+// concurrent Compile, Len, Purge and Metrics calls: every counter mutation
+// happens under the same mutex the snapshot takes (audited with the race
+// detector; see TestPlanCacheMetricsConcurrent).
 func (c *PlanCache) Metrics() CacheMetrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -184,8 +188,8 @@ func planCacheKey(q *Query, cfg *compileConfig) string {
 	if cfg.decomposer != nil {
 		name = cfg.decomposer.Name()
 	}
-	return fmt.Sprintf("%s|s%d|k%d|b%d|w%d|%s",
-		cq.CanonicalForm(q), cfg.strategy, cfg.maxWidth, cfg.stepBudget, cfg.workers, name)
+	return fmt.Sprintf("%s|s%d|k%d|b%d|w%d|sw%d|%s",
+		cq.CanonicalForm(q), cfg.strategy, cfg.maxWidth, cfg.stepBudget, cfg.workers, cfg.shardWorkers, name)
 }
 
 // DefaultPlanCacheSize is the capacity of the package-level plan cache.

@@ -2,6 +2,7 @@ package hypertree
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 )
@@ -121,5 +122,53 @@ func TestPlanCacheDecomposerKeySeparation(t *testing.T) {
 	}
 	if cache.Len() != 3 {
 		t.Fatalf("cache len = %d, want 3", cache.Len())
+	}
+}
+
+// The Metrics/Stats/Len counters must hold up under concurrent Compile,
+// Get-path hits, TTL sweeps and Purge — run under -race in CI (make check).
+func TestPlanCacheMetricsConcurrent(t *testing.T) {
+	cache := NewPlanCacheTTL(4, time.Hour)
+	ctx := context.Background()
+	queries := []*Query{
+		MustParseQuery(`ans(X) :- r(X,Y).`),
+		MustParseQuery(`ans(X) :- r(X,Y), s(Y,Z).`),
+		MustParseQuery(`ans(X) :- r(X,Y), s(Y,Z), t(Z,X).`),
+		MustParseQuery(`ans(X) :- p(X,Y), p(Y,X).`),
+		MustParseQuery(`ans(X) :- a(X), b(X).`),
+		MustParseQuery(`ans(X) :- a(X, Y), b(Y, X), c(X, Y).`),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(g+i)%len(queries)]
+				if _, err := cache.Compile(ctx, q); err != nil {
+					t.Errorf("compile: %v", err)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					cache.Metrics()
+				case 1:
+					cache.Len()
+					cache.Stats()
+				case 2:
+					if i%25 == 0 {
+						cache.Purge()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	m := cache.Metrics()
+	if m.Hits+m.Misses != 8*50 {
+		t.Fatalf("lost counter updates: hits %d + misses %d != %d", m.Hits, m.Misses, 8*50)
+	}
+	if m.Len != cache.Len() {
+		t.Fatalf("Len snapshot inconsistent after quiescence")
 	}
 }

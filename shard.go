@@ -1,0 +1,49 @@
+package hypertree
+
+import (
+	"hypertree/internal/shard"
+)
+
+// Sharded execution: the data-complexity reading of Theorem 4.7 says that
+// once a decomposition is fixed, evaluation cost is polynomial in the
+// database — so the database, not the query, is the axis to parallelise.
+// A PartitionedDB splits every relation across N shards; ExecuteSharded
+// fans each decomposition node's λ-join out across them and merges the
+// per-shard node tables back, answer-identically to Execute.
+
+type (
+	// PartitionedDB is a database split across N shards holding disjoint
+	// fragments of every relation over one shared constant dictionary.
+	// Build one with PartitionDatabase (split an existing Database) or
+	// NewPartitionedDB (incremental ingest via AddFact); execute against
+	// it with Plan.ExecuteSharded / Plan.ExecuteBooleanSharded.
+	PartitionedDB = shard.PartitionedDB
+	// PartitionStrategy selects how tuples are placed on shards.
+	PartitionStrategy = shard.Strategy
+)
+
+// The tuple-placement strategies.
+const (
+	// HashPartition places each tuple by the hash of its constants, so the
+	// same fact always lands on the same shard — stable placement across
+	// load orders, idempotent re-ingest, balanced in expectation.
+	HashPartition = shard.Hash
+	// RoundRobinPartition stripes tuples over shards in insertion order —
+	// perfectly balanced fragments even under heavy value skew.
+	RoundRobinPartition = shard.RoundRobin
+)
+
+// PartitionDatabase splits db into n ≥ 1 disjoint shards under the given
+// placement strategy. The shards share db's constant dictionary and db
+// itself remains the assembled view, so it must not be mutated while the
+// PartitionedDB is in use.
+func PartitionDatabase(db *Database, n int, s PartitionStrategy) (*PartitionedDB, error) {
+	return shard.Partition(db, n, s)
+}
+
+// NewPartitionedDB returns an empty n-shard database for incremental
+// ingest: AddFact routes every new fact onto exactly one shard (duplicates
+// are dropped, preserving set semantics across the fleet of shards).
+func NewPartitionedDB(n int, s PartitionStrategy) (*PartitionedDB, error) {
+	return shard.New(n, s)
+}
