@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench docs
+.PHONY: check fmt vet build test race bench bench-smoke docs
 
 # The full gate CI runs: formatting, vet, build, race-instrumented tests
 # (the parallel evaluator and decomposition code must stay race-clean),
@@ -34,3 +34,10 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# CI smoke of the experiment suite: every benchmark once (the bench
+# target), then every hdbench experiment (E1–E24) at -smoke scale — the
+# experiments carry their own assertions, so a bit-rotted experiment
+# fails the build.
+bench-smoke: bench
+	$(GO) run ./cmd/hdbench -smoke

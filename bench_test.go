@@ -548,3 +548,49 @@ func BenchmarkE23Sharded(b *testing.B) {
 		}
 	})
 }
+
+// E24: the fractional engine (cmd/hdbench E24 prints the width side) —
+// LP-priced bag covers against the greedy integral covers at compile time,
+// plus the adaptive race end to end. The LP pricing adds one small simplex
+// solve per bag on top of the greedy shape search.
+func BenchmarkE24Fractional(b *testing.B) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		q    *Query
+	}{
+		{"clique5", gen.CliqueBinary(5)},
+		{"clique7", gen.CliqueBinary(7)},
+		{"csp-50atoms", gen.RandomCSP(rand.New(rand.NewSource(24)), 30, 50, 3)},
+	} {
+		h := QueryHypergraph(tc.q)
+		b.Run("ghd/"+tc.name, func(b *testing.B) {
+			d := GreedyDecomposer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Decompose(ctx, h, DecomposeRequest{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("fhd/"+tc.name, func(b *testing.B) {
+			d := FractionalDecomposer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Decompose(ctx, h, DecomposeRequest{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("auto-race/clique5", func(b *testing.B) {
+		q := gen.CliqueBinary(5)
+		for i := 0; i < b.N; i++ {
+			p, err := Compile(q, WithStrategy(StrategyHypertree), WithAutoStrategy())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p.DecomposerName() != "auto(fhd)" {
+				b.Fatalf("winner %q", p.DecomposerName())
+			}
+		}
+	})
+}

@@ -3,11 +3,17 @@
 //
 //	hdbench            # everything
 //	hdbench E5 E14     # a selection
+//	hdbench -smoke     # CI mode: scaled-down data, same assertions
+//
+// -smoke shrinks the multi-million-tuple E23 database (and skips its
+// wall-clock speedup assertion, meaningless at toy scale) so the whole
+// suite runs in CI on every push — experiments cannot bit-rot unnoticed.
 package main
 
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -34,9 +40,15 @@ type experiment struct {
 	run   func() error
 }
 
+// smoke selects CI scale: small enough to run on every push, identical
+// correctness assertions (wall-clock-only assertions are skipped).
+var smoke bool
+
 func main() {
+	flag.BoolVar(&smoke, "smoke", false, "CI scale: shrink the heavy experiments, keep the assertions")
+	flag.Parse()
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[strings.ToUpper(a)] = true
 	}
 	failed := 0
@@ -471,7 +483,10 @@ var experiments = []experiment{
 		// variable, so node materialisation is a genuine (output-heavy)
 		// join, not a cross product.
 		q := gen.Cycle(3)
-		const rows, domain = 800_000, 400_000
+		rows, domain := 800_000, 400_000
+		if smoke {
+			rows, domain = 40_000, 20_000
+		}
 		t0 := time.Now()
 		db := gen.LargeRandomDatabase(rand.New(rand.NewSource(23)), q, rows, domain)
 		tuples := 0
@@ -539,7 +554,7 @@ var experiments = []experiment{
 				shardedAt4Plus = shardT
 			}
 		}
-		if shardedAt4Plus >= singleT {
+		if shardedAt4Plus >= singleT && !smoke {
 			return fmt.Errorf("sharded evaluation (%v at ≥4 shards) did not beat single-DB (%v)",
 				shardedAt4Plus, singleT)
 		}
@@ -548,6 +563,92 @@ var experiments = []experiment{
 		fmt.Println("  divide across shards (scatter scales with cores) while the broadcast side")
 		fmt.Println("  is bound and indexed exactly once; even on one core the smaller per-shard")
 		fmt.Println("  dedup maps and output tables win on locality")
+		return nil
+	}},
+	{"E24", "fhw ≤ ghw — LP fractional covers vs greedy vs exact width", func() error {
+		// The width-hierarchy experiment (Fischl–Gottlob–Pichler): on every
+		// instance the fractional engine's achieved fhw must be ≤ the greedy
+		// ghw bound, and on the clique/odd-cycle families the inequality is
+		// strict (fhw(K_n) = n/2, fhw(C_3) = 3/2). The last column shows
+		// which engine the WithAutoStrategy race resolves to. The exact
+		// search runs under a step budget; "—" marks exhaustion.
+		const budget = 200_000
+		const eps = 1e-6
+		separated := false
+		fmt.Println("  instance        | atoms | exact hw | greedy ghw | fhd fhw (supp) | auto winner")
+		for _, tc := range []struct {
+			name string
+			q    *hypertree.Query
+		}{
+			{"triangle", gen.Cycle(3)},
+			{"cycle(9)", gen.Cycle(9)},
+			{"grid(3,3)", gen.Grid(3, 3)},
+			{"clique(4)", gen.CliqueBinary(4)},
+			{"clique(5)", gen.CliqueBinary(5)},
+			{"clique(6)", gen.CliqueBinary(6)},
+			{"csp(12,20)", gen.RandomCSP(rand.New(rand.NewSource(24)), 12, 20, 3)},
+			{"csp(20,35)", gen.RandomCSP(rand.New(rand.NewSource(24)), 20, 35, 3)},
+		} {
+			exactCol, hw := "  —  ", -1
+			exact, err := hypertree.Compile(tc.q,
+				hypertree.WithStrategy(hypertree.StrategyHypertree),
+				hypertree.WithStepBudget(budget))
+			switch {
+			case err == nil:
+				hw = exact.Width()
+				exactCol = fmt.Sprintf("%5d", hw)
+			case errors.Is(err, hypertree.ErrStepBudget):
+				// keep the dash
+			default:
+				return err
+			}
+			greedy, err := hypertree.Compile(tc.q,
+				hypertree.WithStrategy(hypertree.StrategyHypertree),
+				hypertree.WithDecomposer(hypertree.GreedyDecomposer()))
+			if err != nil {
+				return fmt.Errorf("%s greedy: %w", tc.name, err)
+			}
+			frac, err := hypertree.Compile(tc.q,
+				hypertree.WithStrategy(hypertree.StrategyHypertree),
+				hypertree.WithDecomposer(hypertree.FractionalDecomposer()))
+			if err != nil {
+				return fmt.Errorf("%s fhd: %w", tc.name, err)
+			}
+			auto, err := hypertree.Compile(tc.q,
+				hypertree.WithStrategy(hypertree.StrategyHypertree),
+				hypertree.WithAutoStrategy(),
+				hypertree.WithStepBudget(budget))
+			if err != nil {
+				return fmt.Errorf("%s auto: %w", tc.name, err)
+			}
+			fhw := frac.FractionalWidth()
+			fmt.Printf("  %-15s | %5d | %s | %10d | %8.4g (%2d) | %s\n",
+				tc.name, len(tc.q.Atoms), exactCol, greedy.Width(), fhw, frac.Width(), auto.DecomposerName())
+			// Both heuristics rank the same shape portfolio, fhd by
+			// fractional width, so its achieved fhw can never exceed the
+			// greedy integral width. Exceeding the *exact* hw is possible —
+			// like ghd, fhd only upper-bounds its width measure when the
+			// greedy shapes are suboptimal (csp(12,20) shows it).
+			if fhw > float64(greedy.Width())+eps {
+				return fmt.Errorf("%s: fhw %.4g exceeds greedy ghw %d", tc.name, fhw, greedy.Width())
+			}
+			if err := hypertree.ValidateFHD(frac.Decomposition()); err != nil {
+				return fmt.Errorf("%s: %w", tc.name, err)
+			}
+			if fhw < float64(greedy.Width())-0.1 {
+				separated = true
+			}
+		}
+		if !separated {
+			return fmt.Errorf("no instance separated fhw from ghw — the fractional engine buys nothing")
+		}
+		fmt.Println("  expected shape: fhw ≤ ghw everywhere and strictly below on the odd")
+		fmt.Println("  cliques and cycles (fhw(K_n) = n/2, fhw(C_3) = 3/2); against the exact")
+		fmt.Println("  hw both heuristics can lose when the greedy tree shapes are suboptimal.")
+		fmt.Println("  The (supp) column — the integral size of the LP cover's support, which")
+		fmt.Println("  is what evaluation joins — may exceed ghw: the race ranks plans by the")
+		fmt.Println("  r^fhw output bound, not by support size. The auto winner is fhd exactly")
+		fmt.Println("  where the gap is real and the exact engine where it ties")
 		return nil
 	}},
 }

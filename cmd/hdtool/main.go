@@ -10,11 +10,19 @@
 //
 // Flags:
 //
-//	-k N          decide hw ≤ N and print a width-≤N decomposition
+//	-strategy S   decomposition engine: auto | hd | ghd | fhd | qd
+//	              (auto races the exact, fractional and greedy engines and
+//	              keeps the lowest-width winner; hd is the default exact
+//	              search; ghd the greedy heuristic; fhd the LP-priced
+//	              fractional engine; qd the exact query-decomposition
+//	              search — exponential, mind -budget)
+//	-k N          decide width ≤ N and print a width-≤N decomposition
 //	-opt          compute the exact hypertree width (default)
-//	-ghd          use the greedy GHD heuristic instead of the exact search
-//	              (polynomial time; the width is an upper bound on ghw)
+//	-ghd          deprecated alias for -strategy ghd
 //	-qw           also compute the query width (exponential search!)
+//	-widths       print the width report: integral width, achieved
+//	              fractional width, and the LP-optimal fractional re-cover
+//	              of the tree's bags
 //	-parallel N   use N workers for the decomposition search
 //	-budget N     abort after N search steps
 //	-timeout D    abort the search after duration D (e.g. 5s)
@@ -32,13 +40,16 @@ import (
 	"time"
 
 	"hypertree"
+	"hypertree/internal/strategyflag"
 )
 
 func main() {
 	var (
-		k        = flag.Int("k", 0, "decide hw ≤ k (0 = compute exact width)")
-		ghd      = flag.Bool("ghd", false, "greedy GHD heuristic instead of the exact search")
+		strategy = flag.String("strategy", "hd", "decomposition engine: auto | hd | ghd | fhd | qd")
+		k        = flag.Int("k", 0, "decide width ≤ k (0 = compute exact width)")
+		ghd      = flag.Bool("ghd", false, "deprecated alias for -strategy ghd")
 		qw       = flag.Bool("qw", false, "also compute the query width (exponential)")
+		widths   = flag.Bool("widths", false, "print integral, fractional and LP-optimal widths")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the search (0 = sequential)")
 		budget   = flag.Int("budget", 0, "abort after this many search steps (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 0, "abort the search after this duration (0 = none)")
@@ -46,13 +57,31 @@ func main() {
 		jt       = flag.Bool("jointree", false, "print a join tree if acyclic")
 	)
 	flag.Parse()
-	if err := run(*k, *ghd, *qw, *parallel, *budget, *timeout, *dot, *jt, flag.Args()); err != nil {
+	name := *strategy
+	if *ghd {
+		strategySet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "strategy" {
+				strategySet = true
+			}
+		})
+		if strategySet && *strategy != "ghd" {
+			fmt.Fprintf(os.Stderr, "hdtool: -ghd (deprecated) conflicts with -strategy %s\n", *strategy)
+			os.Exit(1)
+		}
+		name = "ghd"
+	}
+	if err := run(name, *k, *qw, *widths, *parallel, *budget, *timeout, *dot, *jt, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hdtool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(k int, ghd, qw bool, parallel, budget int, timeout time.Duration, dot, printJT bool, args []string) error {
+func run(strategy string, k int, qw, widths bool, parallel, budget int, timeout time.Duration, dot, printJT bool, args []string) error {
+	opts, err := strategyflag.DecompositionOptions(strategy)
+	if err != nil {
+		return err
+	}
 	src, err := readInput(args)
 	if err != nil {
 		return err
@@ -81,10 +110,6 @@ func run(k int, ghd, qw bool, parallel, budget int, timeout time.Duration, dot, 
 		defer cancel()
 	}
 
-	opts := []hypertree.CompileOption{hypertree.WithStrategy(hypertree.StrategyHypertree)}
-	if ghd {
-		opts = append(opts, hypertree.WithDecomposer(hypertree.GreedyDecomposer()))
-	}
 	if k > 0 {
 		opts = append(opts, hypertree.WithMaxWidth(k))
 	}
@@ -97,10 +122,15 @@ func run(k int, ghd, qw bool, parallel, budget int, timeout time.Duration, dot, 
 	plan, err := hypertree.CompileContext(ctx, q, opts...)
 	switch {
 	case errors.Is(err, hypertree.ErrWidthExceeded):
-		if ghd {
-			fmt.Printf("greedy heuristic found no GHD of width ≤ %d (this is not a proof that none exists)\n", k)
-		} else {
+		// hd and qd are exhaustive searches, so their failure is a proven
+		// lower bound; the heuristic engines prove nothing on failure.
+		switch strategy {
+		case "hd":
 			fmt.Printf("hw(Q) > %d\n", k)
+		case "qd":
+			fmt.Printf("qw(Q) > %d\n", k)
+		default:
+			fmt.Printf("strategy %s found no decomposition of width ≤ %d (heuristics prove no lower bound)\n", strategy, k)
 		}
 		return nil
 	case errors.Is(err, hypertree.ErrStepBudget):
@@ -112,6 +142,9 @@ func run(k int, ghd, qw bool, parallel, budget int, timeout time.Duration, dot, 
 	}
 	d := plan.Decomposition()
 	switch {
+	case plan.Fractional():
+		fmt.Printf("fractional hypertree width (achieved): %.4g (integral support width %d)\n",
+			plan.FractionalWidth(), plan.Width())
 	case plan.Generalized():
 		fmt.Printf("generalized hypertree width (greedy upper bound): %d\n", plan.Width())
 	case k > 0:
@@ -119,12 +152,26 @@ func run(k int, ghd, qw bool, parallel, budget int, timeout time.Duration, dot, 
 	default:
 		fmt.Printf("hypertree width: %d\n", plan.Width())
 	}
+	if plan.DecomposerName() != "" {
+		fmt.Printf("decomposer: %s\n", plan.DecomposerName())
+	}
 	validate := hypertree.ValidateHD
-	if plan.Generalized() {
+	switch {
+	case plan.Fractional():
+		validate = hypertree.ValidateFHD
+	case plan.Generalized():
 		validate = hypertree.ValidateGHD
 	}
 	if err := validate(d); err != nil {
 		return fmt.Errorf("internal error: produced decomposition invalid: %v", err)
+	}
+	if widths {
+		opt, err := hypertree.FractionalWidthOf(ctx, d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("width report: width=%d fhw=%.4g optimal-bag-fhw=%.4g\n",
+			plan.Width(), plan.FractionalWidth(), opt)
 	}
 	if dot {
 		fmt.Print(hypertree.DOT(d))

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -17,50 +18,67 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestRunComputesWidth(t *testing.T) {
 	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
-	if err := run(0, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
+	if err := run("hd", 0, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBoundedAndParallel(t *testing.T) {
 	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
-	if err := run(2, false, false, 2, 0, 0, false, true, []string{p}); err != nil {
+	if err := run("hd", 2, false, false, 2, 0, 0, false, true, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 	// k below the width: reports hw > k without error
-	if err := run(1, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
+	if err := run("hd", 1, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunGreedyGHD(t *testing.T) {
+func TestRunEveryDecompositionStrategy(t *testing.T) {
 	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
-	if err := run(0, true, false, 0, 0, 0, false, false, []string{p}); err != nil {
-		t.Fatal(err)
+	for _, s := range []string{"hd", "ghd", "fhd", "auto", "qd"} {
+		if err := run(s, 0, false, true, 0, 0, 0, false, false, []string{p}); err != nil {
+			t.Errorf("strategy %s: %v", s, err)
+		}
 	}
-	// a width bound the heuristic cannot reach reports, without error
-	if err := run(1, true, false, 0, 0, 0, false, false, []string{p}); err != nil {
-		t.Fatal(err)
+	// a width bound the heuristics cannot reach reports, without error
+	for _, s := range []string{"ghd", "fhd"} {
+		if err := run(s, 1, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
+			t.Errorf("strategy %s at k=1: %v", s, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownStrategy(t *testing.T) {
+	p := writeTemp(t, `r(X,Y).`)
+	err := run("bogus", 0, false, false, 0, 0, 0, false, false, []string{p})
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, want := range []string{"auto", "hd", "ghd", "fhd", "qd"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list valid strategy %q", err, want)
+		}
 	}
 }
 
 func TestRunQueryWidthAndDot(t *testing.T) {
 	p := writeTemp(t, `a(X,Y), b(Y,Z).`)
-	if err := run(0, false, true, 0, 0, 0, true, true, []string{p}); err != nil {
+	if err := run("hd", 0, true, false, 0, 0, 0, true, true, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(0, false, false, 0, 0, 0, false, false, []string{"/does/not/exist"}); err == nil {
+	if err := run("hd", 0, false, false, 0, 0, 0, false, false, []string{"/does/not/exist"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeTemp(t, `not a query`)
-	if err := run(0, false, false, 0, 0, 0, false, false, []string{bad}); err == nil {
+	if err := run("hd", 0, false, false, 0, 0, 0, false, false, []string{bad}); err == nil {
 		t.Error("malformed query accepted")
 	}
 	p := writeTemp(t, `r(X).`)
-	if err := run(0, false, false, 0, 0, 0, false, false, []string{p, p}); err == nil {
+	if err := run("hd", 0, false, false, 0, 0, 0, false, false, []string{p, p}); err == nil {
 		t.Error("two files accepted")
 	}
 }

@@ -3,8 +3,8 @@
 // Usage:
 //
 //	qeval -query queryfile -db factsfile [-db2 factsfile ...]
-//	      [-strategy auto|naive|acyclic|hd|ghd|qd] [-workers N] [-timeout D]
-//	      [-shards N] [-partition hash|rr]
+//	      [-strategy auto|naive|acyclic|hd|ghd|fhd|qd] [-workers N]
+//	      [-timeout D] [-widths] [-shards N] [-partition hash|rr]
 //
 // The query file holds one rule ("ans(X) :- r(X,Y), s(Y,Z)."); each facts
 // file holds ground atoms, one or more per line ("r(a,b). s(b,c)."). For a
@@ -12,6 +12,12 @@
 // query is compiled once and the plan is executed against every database —
 // the amortisation of Theorem 4.7 (with -time, compile and per-database
 // execution are reported separately).
+//
+// The default strategy, auto, runs Yannakakis on acyclic queries and on
+// cyclic ones races the exact, fractional and greedy decomposition engines,
+// keeping the lowest-width winner. -widths prints the width report of the
+// compiled plan: integral width, achieved fractional width, and the
+// decomposer that produced it.
 //
 // With -shards N > 0 each database is partitioned N ways (-partition picks
 // hash or round-robin tuple placement) and the plan runs through
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"hypertree"
+	"hypertree/internal/strategyflag"
 )
 
 func main() {
@@ -34,21 +41,22 @@ func main() {
 		queryFile = flag.String("query", "", "file holding the conjunctive query")
 		dbFile    = flag.String("db", "", "file holding the facts")
 		dbFile2   = flag.String("db2", "", "optional second facts file (plan reuse)")
-		strategy  = flag.String("strategy", "auto", "auto | naive | acyclic | hd | ghd | qd")
+		strategy  = flag.String("strategy", "auto", strategyflag.Valid())
 		workers   = flag.Int("workers", 0, "worker goroutines for search and reduction")
 		timeout   = flag.Duration("timeout", 0, "abort compilation/evaluation after this duration")
 		timing    = flag.Bool("time", false, "print compile and evaluation wall time")
+		widths    = flag.Bool("widths", false, "print the compiled plan's width report")
 		shards    = flag.Int("shards", 0, "partition each database N ways and execute sharded (0 = off)")
 		partition = flag.String("partition", "hash", "tuple placement for -shards: hash | rr")
 	)
 	flag.Parse()
-	if err := run(*queryFile, *dbFile, *dbFile2, *strategy, *workers, *timeout, *timing, *shards, *partition); err != nil {
+	if err := run(*queryFile, *dbFile, *dbFile2, *strategy, *workers, *timeout, *timing, *widths, *shards, *partition); err != nil {
 		fmt.Fprintln(os.Stderr, "qeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout time.Duration, timing bool, shards int, partition string) error {
+func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout time.Duration, timing, widths bool, shards int, partition string) error {
 	if queryFile == "" || dbFile == "" {
 		return fmt.Errorf("both -query and -db are required")
 	}
@@ -59,7 +67,7 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 	case "rr", "round-robin":
 		strategy = hypertree.RoundRobinPartition
 	default:
-		return fmt.Errorf("unknown partition strategy %q", partition)
+		return fmt.Errorf("unknown partition strategy %q (valid: hash | rr)", partition)
 	}
 	qsrc, err := os.ReadFile(queryFile)
 	if err != nil {
@@ -70,26 +78,9 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 		return err
 	}
 
-	opts := []hypertree.CompileOption{}
-	switch strategyName {
-	case "auto":
-		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyAuto))
-	case "naive":
-		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyNaive))
-	case "acyclic":
-		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyAcyclic))
-	case "hd":
-		opts = append(opts, hypertree.WithStrategy(hypertree.StrategyHypertree))
-	case "ghd":
-		opts = append(opts,
-			hypertree.WithStrategy(hypertree.StrategyHypertree),
-			hypertree.WithDecomposer(hypertree.GreedyDecomposer()))
-	case "qd":
-		opts = append(opts,
-			hypertree.WithStrategy(hypertree.StrategyHypertree),
-			hypertree.WithDecomposer(hypertree.QueryDecomposer()))
-	default:
-		return fmt.Errorf("unknown strategy %q", strategyName)
+	opts, err := strategyflag.Options(strategyName)
+	if err != nil {
+		return err
 	}
 	if workers > 0 {
 		opts = append(opts, hypertree.WithWorkers(workers))
@@ -108,6 +99,9 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 		return err
 	}
 	compileTime := time.Since(start)
+	if widths {
+		printWidths(plan)
+	}
 
 	files := []string{dbFile}
 	if dbFile2 != "" {
@@ -157,4 +151,26 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 		}
 	}
 	return nil
+}
+
+// printWidths reports the compiled plan's width measures: the integral
+// width (max |λ|), the achieved fractional width (max total λ weight — the
+// tighter O(r^w) exponent for fractional plans), and the decomposer that
+// won (for the auto race: the resolved engine).
+func printWidths(plan *hypertree.Plan) {
+	if plan.Decomposition() == nil {
+		fmt.Printf("width report: no decomposition (strategy needs none)\n")
+		return
+	}
+	fmt.Printf("width report: width=%d fhw=%.4g", plan.Width(), plan.FractionalWidth())
+	if plan.DecomposerName() != "" {
+		fmt.Printf(" decomposer=%s", plan.DecomposerName())
+	}
+	switch {
+	case plan.Fractional():
+		fmt.Printf(" (fractional: λ supports of optimal LP covers)")
+	case plan.Generalized():
+		fmt.Printf(" (generalized: width upper-bounds ghw)")
+	}
+	fmt.Println()
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -19,24 +20,37 @@ func write(t *testing.T, name, content string) string {
 func TestRunAllStrategies(t *testing.T) {
 	q := write(t, "q.cq", `r(X,Y), s(Y,Z), t(Z,X).`)
 	db := write(t, "f.db", "r(a,b). s(b,c). t(c,a).")
-	for _, s := range []string{"auto", "naive", "hd", "ghd", "qd"} {
-		if err := run(q, db, "", s, 0, 0, true, 0, "hash"); err != nil {
+	for _, s := range []string{"auto", "naive", "hd", "ghd", "fhd", "qd"} {
+		if err := run(q, db, "", s, 0, 0, true, true, 0, "hash"); err != nil {
 			t.Errorf("strategy %s: %v", s, err)
 		}
 	}
 	// acyclic strategy on a cyclic query must fail
-	if err := run(q, db, "", "acyclic", 0, 0, false, 0, "hash"); err == nil {
+	if err := run(q, db, "", "acyclic", 0, 0, false, false, 0, "hash"); err == nil {
 		t.Error("acyclic strategy on cyclic query accepted")
 	}
-	if err := run(q, db, "", "bogus", 0, 0, false, 0, "hash"); err == nil {
-		t.Error("unknown strategy accepted")
+}
+
+func TestRunRejectsUnknownStrategyWithFullList(t *testing.T) {
+	q := write(t, "q.cq", `r(X,Y).`)
+	db := write(t, "f.db", "r(a,b).")
+	err := run(q, db, "", "bogus", 0, 0, false, false, 0, "hash")
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	// the regression this pins: the error must list *every* valid name,
+	// including the ones added after the original error path was written
+	for _, want := range []string{"auto", "naive", "acyclic", "hd", "ghd", "fhd", "qd"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list valid strategy %q", err, want)
+		}
 	}
 }
 
 func TestRunNonBoolean(t *testing.T) {
 	q := write(t, "q.cq", `ans(X) :- r(X,Y), s(Y,Z).`)
 	db := write(t, "f.db", "r(a,b). s(b,c).")
-	if err := run(q, db, "", "auto", 0, 0, false, 0, "hash"); err != nil {
+	if err := run(q, db, "", "auto", 0, 0, false, false, 0, "hash"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -45,26 +59,26 @@ func TestRunPlanReuseAcrossDatabases(t *testing.T) {
 	q := write(t, "q.cq", `r(X,Y), s(Y,Z), t(Z,X).`)
 	db1 := write(t, "f1.db", "r(a,b). s(b,c). t(c,a).")
 	db2 := write(t, "f2.db", "r(a,b). s(b,c).")
-	if err := run(q, db1, db2, "hd", 2, time.Minute, true, 0, "hash"); err != nil {
+	if err := run(q, db1, db2, "hd", 2, time.Minute, true, false, 0, "hash"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "", "", "auto", 0, 0, false, 0, "hash"); err == nil {
+	if err := run("", "", "", "auto", 0, 0, false, false, 0, "hash"); err == nil {
 		t.Error("missing flags accepted")
 	}
 	q := write(t, "q.cq", `r(X).`)
-	if err := run(q, "/does/not/exist", "", "auto", 0, 0, false, 0, "hash"); err == nil {
+	if err := run(q, "/does/not/exist", "", "auto", 0, 0, false, false, 0, "hash"); err == nil {
 		t.Error("missing db accepted")
 	}
 	bad := write(t, "bad.db", "zzz")
-	if err := run(q, bad, "", "auto", 0, 0, false, 0, "hash"); err == nil {
+	if err := run(q, bad, "", "auto", 0, 0, false, false, 0, "hash"); err == nil {
 		t.Error("malformed facts accepted")
 	}
 	badQ := write(t, "bad.cq", "((")
 	db := write(t, "f.db", "r(a).")
-	if err := run(badQ, db, "", "auto", 0, 0, false, 0, "hash"); err == nil {
+	if err := run(badQ, db, "", "auto", 0, 0, false, false, 0, "hash"); err == nil {
 		t.Error("malformed query accepted")
 	}
 }
@@ -73,11 +87,15 @@ func TestRunSharded(t *testing.T) {
 	q := write(t, "q.cq", `ans(X) :- r(X,Y), s(Y,Z), t(Z,X).`)
 	db := write(t, "f.db", "r(a,b). s(b,c). t(c,a). r(x,y).")
 	for _, part := range []string{"hash", "rr"} {
-		if err := run(q, db, "", "hd", 0, 0, true, 3, part); err != nil {
+		if err := run(q, db, "", "hd", 0, 0, true, false, 3, part); err != nil {
 			t.Errorf("sharded %s: %v", part, err)
 		}
 	}
-	if err := run(q, db, "", "hd", 0, 0, false, 3, "bogus"); err == nil {
+	// fhd plans must ride the sharded path too
+	if err := run(q, db, "", "fhd", 0, 0, false, true, 3, "hash"); err != nil {
+		t.Errorf("sharded fhd: %v", err)
+	}
+	if err := run(q, db, "", "hd", 0, 0, false, false, 3, "bogus"); err == nil {
 		t.Error("unknown partition strategy accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"hypertree/internal/decomp"
+	"hypertree/internal/fhd"
 	"hypertree/internal/ghd"
 	"hypertree/internal/querydecomp"
 )
@@ -59,6 +60,21 @@ type Decomposer interface {
 	// two Decomposers with the same name must be interchangeable.
 	Name() string
 	Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error)
+}
+
+// FractionalWidthDecomposer marks a Decomposer whose decompositions carry
+// fractional λ weights (decomp.Node.Weights): Compile validates such output
+// with ValidateFHD — the GHD cover conditions on the integral support sets
+// plus the fractional cover condition on the weights — and the resulting
+// Plan reports a FractionalWidth that can drop strictly below Width. Every
+// fractional decomposition is in particular a GHD over its support sets, so
+// evaluation is unchanged. FractionalDecomposer is the built-in
+// implementation.
+type FractionalWidthDecomposer interface {
+	Decomposer
+	// Fractional reports whether the produced decompositions attach
+	// fractional λ weights (and must be validated fractionally).
+	Fractional() bool
 }
 
 // GeneralizedDecomposer marks a Decomposer whose output is a generalized
@@ -207,12 +223,17 @@ type greedyDecomposer struct {
 // participates in plan-cache keys, and two GreedyDecomposers are only
 // interchangeable when their whole configuration matches — a default "ghd"
 // and a seeded, restricted-portfolio one must not share cached plans.
-func greedyName(o ghd.Options) string {
+func greedyName(o ghd.Options) string { return heuristicName("ghd", o) }
+
+// heuristicName is greedyName generalised over the strategy prefix; the
+// fractional engine reuses the same tuning surface under "fhd".
+func heuristicName(prefix string, o ghd.Options) string {
 	if len(o.Orderings) == 0 && o.Restarts == 0 && o.Seed == 0 {
-		return "ghd"
+		return prefix
 	}
 	var b strings.Builder
-	b.WriteString("ghd[")
+	b.WriteString(prefix)
+	b.WriteByte('[')
 	for i, ord := range o.Orderings {
 		if i > 0 {
 			b.WriteByte(',')
@@ -231,4 +252,48 @@ func (greedyDecomposer) Generalized() bool { return true }
 
 func (g greedyDecomposer) Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error) {
 	return ghd.Decompose(ctx, h, g.opts, req.MaxWidth, req.StepBudget, req.Workers)
+}
+
+// FractionalDecomposer returns the fractional hypertree Decomposer: the
+// same greedy tree shapes as GreedyDecomposer (so it accepts the same
+// GreedyOption tuning — orderings, restarts, seed), but every bag is
+// re-covered by its minimum *fractional* edge cover, priced by one small
+// LP per bag (internal/lp), and the shape of minimum fractional width
+// wins. The fractional width fhw satisfies fhw ≤ ghw ≤ hw (Fischl, Gottlob
+// & Pichler) with the gap realised already on small cliques — fhw(K5) =
+// 5/2 against ghw = 3 — so Plan.FractionalWidth can report a strictly
+// tighter evaluation-cost exponent than any integral decomposer: by the
+// AGM bound each node table holds at most r^fhw tuples.
+//
+// The λ label of every node is the integral support of its optimal
+// fractional cover — still an edge cover of the bag — so the output is
+// simultaneously a valid GHD and executes through the unchanged Lemma 4.6
+// machinery, single-database and sharded alike. WithMaxWidth(k) bounds the
+// accepted fractional width (the heuristic proves nothing about fhw(H) on
+// failure); WithStepBudget counts vertex eliminations plus simplex pivots;
+// Workers is ignored (the re-covering pass is polynomial and fast).
+func FractionalDecomposer(opts ...GreedyOption) Decomposer {
+	var o ghd.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return fractionalDecomposer{opts: o, name: heuristicName("fhd", o)}
+}
+
+type fractionalDecomposer struct {
+	opts ghd.Options
+	name string
+}
+
+func (f fractionalDecomposer) Name() string { return f.name }
+
+// Generalized marks the integral support sets as GHD-only (conditions 1–3).
+func (fractionalDecomposer) Generalized() bool { return true }
+
+// Fractional marks the output as weight-carrying: Compile validates it with
+// ValidateFHD and the Plan reports its fractional width.
+func (fractionalDecomposer) Fractional() bool { return true }
+
+func (f fractionalDecomposer) Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error) {
+	return fhd.Decompose(ctx, h, f.opts, req.MaxWidth, req.StepBudget)
 }

@@ -77,6 +77,30 @@ func ExamplePlan_ExecuteSharded() {
 	// a
 }
 
+// FractionalWidth reports the plan's width under fractional λ weights. On
+// the triangle query the integral hypertree width is 2, but spreading
+// weight 1/2 over all three atoms covers the joint bag at total 3/2 — the
+// FractionalDecomposer finds exactly that cover, and by the AGM bound the
+// materialised node table shrinks from O(r²) to O(r^1.5).
+func ExamplePlan_FractionalWidth() {
+	q := hypertree.MustParseQuery(`r(X,Y), s(Y,Z), t(Z,X)`)
+	exact, err := hypertree.Compile(q, hypertree.WithStrategy(hypertree.StrategyHypertree))
+	if err != nil {
+		panic(err)
+	}
+	frac, err := hypertree.Compile(q,
+		hypertree.WithStrategy(hypertree.StrategyHypertree),
+		hypertree.WithDecomposer(hypertree.FractionalDecomposer()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hw = %d\n", exact.Width())
+	fmt.Printf("fhw = %.1f\n", frac.FractionalWidth())
+	// Output:
+	// hw = 2
+	// fhw = 1.5
+}
+
 // A PlanCache makes recompilation of α-equivalent queries free: the cache
 // key is the canonical query form plus the compile options.
 func ExamplePlanCache() {

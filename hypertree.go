@@ -31,11 +31,16 @@
 // WithMaxWidth, WithWorkers, WithStepBudget — and the decomposition method
 // itself is pluggable through WithDecomposer: KDecomposer (Section 5),
 // ParallelKDecomposer (the LOGCFL-inspired parallel search) and
-// QueryDecomposer (Definition 3.1) are the exact searches, and
+// QueryDecomposer (Definition 3.1) are the exact searches;
 // GreedyDecomposer is the polynomial-time heuristic that produces
-// generalized hypertree decompositions — it compiles hypergraphs far beyond
-// the exact searches' reach at the price of width optimality. Long searches
-// are cancellable: CompileContext and Execute observe their context's
+// generalized hypertree decompositions — it compiles hypergraphs far
+// beyond the exact searches' reach at the price of width optimality — and
+// FractionalDecomposer re-prices the same tree shapes with LP-optimal
+// fractional edge covers (fhw ≤ ghw ≤ hw, Fischl–Gottlob–Pichler),
+// reported through Plan.FractionalWidth while evaluation runs over the
+// integral cover supports. WithAutoStrategy races the exact, fractional
+// and greedy engines and keeps the lowest-width winner. Long searches are
+// cancellable: CompileContext and Execute observe their context's
 // cancellation and deadline. A PlanCache (see DefaultPlanCache) keyed by
 // the canonical query form and the compile options (including the
 // decomposer name) makes repeated compilation of α-equivalent queries free.
@@ -54,6 +59,7 @@ import (
 
 	"hypertree/internal/cq"
 	"hypertree/internal/decomp"
+	"hypertree/internal/fhd"
 	"hypertree/internal/hdeval"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/jointree"
@@ -166,6 +172,25 @@ func ValidateHD(d *Decomposition) error { return d.Validate() }
 // of a generalized hypertree decomposition, the output of GreedyDecomposer.
 // Every HD is a GHD; the converse fails exactly on the descendant condition.
 func ValidateGHD(d *Decomposition) error { return d.ValidateGHD() }
+
+// ValidateFHD checks the fractional reading of Definition 4.1 — the GHD
+// cover conditions on the integral support sets plus, at every weighted
+// node, that the fractional λ weights cover each χ vertex with total
+// weight ≥ 1 and have support exactly λ. This is the validation mode
+// Compile applies to FractionalDecomposer output; every decomposition that
+// passes it is in particular a valid GHD.
+func ValidateFHD(d *Decomposition) error { return d.ValidateFractional() }
+
+// FractionalWidthOf computes the fractional hypertree width of a
+// decomposition's tree shape: the maximum over nodes of the minimum
+// fractional edge cover of χ(p), priced by one LP per bag (internal/lp).
+// It ignores the existing λ labels, so on any decomposition it reports the
+// best fractional width that tree can achieve — a lower bound on (and for
+// fractional plans equal to) the achieved Plan.FractionalWidth. A
+// cancelled context aborts the LPs with ctx.Err().
+func FractionalWidthOf(ctx context.Context, d *Decomposition) (float64, error) {
+	return fhd.WidthOf(ctx, d)
+}
 
 // ValidateQD checks the pure query-decomposition conditions of
 // Definition 3.1.

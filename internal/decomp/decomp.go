@@ -17,10 +17,16 @@ import (
 
 // Node is a vertex of a hypertree decomposition, carrying the two labels of
 // Definition 4.1: Chi (χ, a set of variables) and Lambda (λ, a set of edge
-// indices of the underlying hypergraph).
+// indices of the underlying hypergraph). Weights optionally attaches
+// fractional λ weights (edge index → weight) for nodes produced by a
+// fractional decomposer (internal/fhd): its support must be exactly Lambda,
+// so evaluation — which needs only the integral support sets — runs
+// unchanged while FractionalWidth can drop below Width. Weights is nil on
+// integral decompositions.
 type Node struct {
 	Chi      bitset.Set
 	Lambda   bitset.Set
+	Weights  map[int]float64
 	Children []*Node
 }
 
@@ -59,6 +65,92 @@ func (d *Decomposition) Width() int {
 
 // NumNodes returns the number of tree nodes.
 func (d *Decomposition) NumNodes() int { return len(d.Nodes()) }
+
+// FractionalWidth returns the width of the decomposition under its
+// fractional λ weights: the maximum over nodes of Σ_e w(e), where a node
+// without Weights counts every λ edge at weight 1. On integral
+// decompositions this equals float64(Width()); decompositions produced by
+// the fractional engine (internal/fhd) can be strictly below it — the
+// fhw ≤ ghw ≤ hw hierarchy of Fischl, Gottlob & Pichler.
+func (d *Decomposition) FractionalWidth() float64 {
+	w := 0.0
+	for _, n := range d.Nodes() {
+		var nw float64
+		if n.Weights != nil {
+			for _, v := range n.Weights {
+				nw += v
+			}
+		} else {
+			nw = float64(n.Lambda.Len())
+		}
+		if nw > w {
+			w = nw
+		}
+	}
+	return w
+}
+
+// FracEps is the tolerance of the fractional validator: the LP solver
+// prices covers in epsilon-guarded floats, so cover constraints are checked
+// up to this slack.
+const FracEps = 1e-6
+
+// ValidateFractional checks the fractional reading of Definition 4.1 — the
+// conditions of a fractional hypertree decomposition (Fischl–Gottlob–
+// Pichler) plus the structural invariants the evaluator relies on:
+//
+//  1. every edge is covered by some χ label, and every variable induces a
+//     connected subtree (conditions 1–2, exactly as for a GHD);
+//  2. integral support: each node's λ still satisfies χ(p) ⊆ var(λ(p)), so
+//     the Lemma 4.6 evaluation over the support sets applies unchanged;
+//  3. fractional cover: at each weighted node, every χ vertex receives
+//     total weight ≥ 1 − FracEps from the λ edges containing it, all
+//     weights are positive, and the weight support is exactly λ.
+//
+// Nodes without Weights are read as every-λ-edge-at-weight-1 and pass
+// whenever the GHD conditions do.
+func (d *Decomposition) ValidateFractional() error {
+	if err := d.ValidateGHD(); err != nil {
+		return err
+	}
+	h := d.H
+	for _, n := range d.Nodes() {
+		if n.Weights == nil {
+			continue
+		}
+		support := bitset.Set{}
+		for e, w := range n.Weights {
+			if w <= 0 {
+				return fmt.Errorf("decomp: fractional condition violated: non-positive weight %g on edge %s", w, h.EdgeName(e))
+			}
+			support.Add(e)
+		}
+		if !support.Equal(n.Lambda) {
+			return fmt.Errorf("decomp: fractional condition violated: weight support %v differs from λ=%v",
+				h.EdgeNames(support), h.EdgeNames(n.Lambda))
+		}
+		var err error
+		n.Chi.ForEach(func(v int) {
+			if err != nil {
+				return
+			}
+			total := 0.0
+			for e, w := range n.Weights {
+				if h.Edge(e).Has(v) {
+					total += w
+				}
+			}
+			if total < 1-FracEps {
+				err = fmt.Errorf("decomp: fractional condition violated: χ vertex %s covered with weight %g < 1",
+					h.VertexName(v), total)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // chiSubtree returns χ(T_p): the union of χ labels in the subtree rooted at n.
 func chiSubtree(n *Node) bitset.Set {
@@ -259,6 +351,12 @@ func (d *Decomposition) cloneTree() *Decomposition {
 	var cp func(n *Node) *Node
 	cp = func(n *Node) *Node {
 		m := &Node{Chi: n.Chi.Clone(), Lambda: n.Lambda.Clone()}
+		if n.Weights != nil {
+			m.Weights = make(map[int]float64, len(n.Weights))
+			for e, w := range n.Weights {
+				m.Weights[e] = w
+			}
+		}
 		for _, c := range n.Children {
 			m.Children = append(m.Children, cp(c))
 		}

@@ -1,0 +1,188 @@
+package fhd
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/gen"
+	"hypertree/internal/ghd"
+	"hypertree/internal/hypergraph"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestCoverClique(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		n    int
+		want float64
+	}{{3, 1.5}, {4, 2}, {5, 2.5}, {6, 3}, {7, 3.5}} {
+		h, _ := gen.CliqueBinary(tc.n).Hypergraph()
+		weights, v, err := Cover(ctx, h, h.AllVertices(), nil)
+		if err != nil {
+			t.Fatalf("K%d: %v", tc.n, err)
+		}
+		if !approx(v, tc.want) {
+			t.Fatalf("K%d: fractional cover %v, want %v", tc.n, v, tc.want)
+		}
+		// the support must be an integral cover of the bag
+		covered := 0
+		h.AllVertices().ForEach(func(u int) {
+			for e := range weights {
+				if h.Edge(e).Has(u) {
+					covered++
+					return
+				}
+			}
+		})
+		if covered != h.NumVertices() {
+			t.Fatalf("K%d: support covers %d/%d vertices", tc.n, covered, h.NumVertices())
+		}
+	}
+}
+
+func TestCoverOddCycleBag(t *testing.T) {
+	// The whole vertex set of C5 covered by its 5 binary edges: fractional
+	// cover 5/2 (weight 1/2 everywhere), integral cover 3.
+	h, _ := gen.Cycle(5).Hypergraph()
+	_, v, err := Cover(context.Background(), h, h.AllVertices(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 2.5) {
+		t.Fatalf("C5 fractional cover %v, want 2.5", v)
+	}
+}
+
+func TestDecomposeCliqueBeatsGreedy(t *testing.T) {
+	// The separation witness: on K5 the greedy GHD achieves width 3 while
+	// the fractional engine prices the same single bag at 5/2.
+	ctx := context.Background()
+	h, _ := gen.CliqueBinary(5).Hypergraph()
+
+	g, err := ghd.Decompose(ctx, h, ghd.Options{}, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decompose(ctx, h, ghd.Options{}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ValidateFractional(); err != nil {
+		t.Fatalf("fractional validation: %v", err)
+	}
+	if err := f.ValidateGHD(); err != nil {
+		t.Fatalf("support sets must stay a valid GHD: %v", err)
+	}
+	if fw := f.FractionalWidth(); !(fw < float64(g.Width())-0.1) || !approx(fw, 2.5) {
+		t.Fatalf("fhw %v vs greedy width %d: want 2.5 < 3", fw, g.Width())
+	}
+}
+
+func TestDecomposeMatchesWidthOf(t *testing.T) {
+	// On an fhd-produced decomposition the achieved fractional width equals
+	// the LP-optimal re-cover of its own bags.
+	ctx := context.Background()
+	for _, q := range []string{"clique", "cycle", "csp"} {
+		var h *hypergraph.Hypergraph
+		switch q {
+		case "clique":
+			h, _ = gen.CliqueBinary(6).Hypergraph()
+		case "cycle":
+			h, _ = gen.Cycle(9).Hypergraph()
+		case "csp":
+			h, _ = gen.Q5().Hypergraph()
+		}
+		d, err := Decompose(ctx, h, ghd.Options{}, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		opt, err := WidthOf(ctx, d)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !approx(d.FractionalWidth(), opt) {
+			t.Fatalf("%s: achieved fhw %v != optimal re-cover %v", q, d.FractionalWidth(), opt)
+		}
+	}
+}
+
+func TestFractionalNeverExceedsGreedy(t *testing.T) {
+	// fhw of the chosen shape can never exceed the greedy integral width on
+	// the same instance: every integral cover is a fractional one.
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		src  func() *hypergraph.Hypergraph
+	}{
+		{"cycle8", func() *hypergraph.Hypergraph { h, _ := gen.Cycle(8).Hypergraph(); return h }},
+		{"grid33", func() *hypergraph.Hypergraph { h, _ := gen.Grid(3, 3).Hypergraph(); return h }},
+		{"clique7", func() *hypergraph.Hypergraph { h, _ := gen.CliqueBinary(7).Hypergraph(); return h }},
+		{"q5", func() *hypergraph.Hypergraph { h, _ := gen.Q5().Hypergraph(); return h }},
+	} {
+		h := tc.src()
+		g, err := ghd.Decompose(ctx, h, ghd.Options{}, 0, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		f, err := Decompose(ctx, h, ghd.Options{}, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := f.ValidateFractional(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if f.FractionalWidth() > float64(g.Width())+decomp.FracEps {
+			t.Fatalf("%s: fhw %v exceeds greedy width %d", tc.name, f.FractionalWidth(), g.Width())
+		}
+	}
+}
+
+func TestDecomposeBudgetAndCancel(t *testing.T) {
+	h, _ := gen.CliqueBinary(6).Hypergraph()
+
+	if _, err := Decompose(context.Background(), h, ghd.Options{}, 0, 1); !errors.Is(err, decomp.ErrStepBudget) {
+		t.Fatalf("budget 1: err = %v, want ErrStepBudget", err)
+	}
+
+	// a budget big enough for the eliminations but starving the LP pivots
+	// must still surface ErrStepBudget, not a bogus decomposition
+	if d, err := Decompose(context.Background(), h, ghd.Options{}, 0, 7); err != nil {
+		if !errors.Is(err, decomp.ErrStepBudget) {
+			t.Fatalf("tiny budget: %v", err)
+		}
+	} else if err := d.ValidateFractional(); err != nil {
+		t.Fatalf("partial-budget decomposition invalid: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Decompose(ctx, h, ghd.Options{}, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDecomposeMaxWidth(t *testing.T) {
+	h, _ := gen.CliqueBinary(5).Hypergraph()
+	// fhw 2.5 ≤ 3 passes, ≤ 2 fails
+	if _, err := Decompose(context.Background(), h, ghd.Options{}, 3, 0); err != nil {
+		t.Fatalf("maxWidth 3: %v", err)
+	}
+	if _, err := Decompose(context.Background(), h, ghd.Options{}, 2, 0); !errors.Is(err, decomp.ErrWidthExceeded) {
+		t.Fatalf("maxWidth 2: err = %v, want ErrWidthExceeded", err)
+	}
+}
+
+func TestEmptyHypergraph(t *testing.T) {
+	h := hypergraph.New()
+	d, err := Decompose(context.Background(), h, ghd.Options{}, 0, 0)
+	if err != nil || d.Root != nil {
+		t.Fatalf("empty: d=%v err=%v", d, err)
+	}
+	if w, err := WidthOf(context.Background(), d); err != nil || w != 0 {
+		t.Fatalf("empty width %v err %v", w, err)
+	}
+}

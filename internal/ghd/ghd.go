@@ -137,7 +137,7 @@ func Decompose(ctx context.Context, h *hypergraph.Hypergraph, opts Options, maxW
 	g := h.PrimalGraph()
 	trials := trialPlan(opts)
 
-	budget := newStepCounter(stepBudget)
+	budget := NewBudget(stepBudget)
 	results := make([]*decomp.Decomposition, len(trials))
 	if workers > len(trials) {
 		workers = len(trials)
@@ -175,6 +175,34 @@ func Decompose(ctx context.Context, h *hypergraph.Hypergraph, opts Options, maxW
 	return best, nil
 }
 
+// ForEachShape runs the configured trial portfolio sequentially and hands
+// each resulting decomposition — a pruned bag-tree with greedy covers — to
+// fn. It is the shape-enumeration hook behind the fractional engine
+// (internal/fhd), which re-covers the same bags with LP-priced fractional
+// weights and ranks shapes by fractional rather than integral width. A
+// non-nil error from fn aborts the loop and is returned as-is; an exhausted
+// budget surfaces as decomp.ErrStepBudget, with every shape completed
+// before the cut-off already delivered.
+func ForEachShape(ctx context.Context, h *hypergraph.Hypergraph, opts Options, budget *Budget, fn func(*decomp.Decomposition) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if h.NumEdges() == 0 {
+		return fn(&decomp.Decomposition{H: h})
+	}
+	g := h.PrimalGraph()
+	for _, tr := range trialPlan(opts) {
+		d, err := runTrial(ctx, h, g, tr, budget)
+		if err != nil {
+			return err
+		}
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // trial is one pass of the improvement loop: an ordering heuristic plus,
 // for randomized restarts, a tie-breaking seed (the first pass per ordering
 // uses deterministic lowest-index tie-breaking instead).
@@ -196,7 +224,7 @@ func trialPlan(opts Options) []trial {
 	return trials
 }
 
-func runTrial(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, tr trial, budget *stepCounter) (*decomp.Decomposition, error) {
+func runTrial(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, tr trial, budget *Budget) (*decomp.Decomposition, error) {
 	var rng *rand.Rand
 	if tr.randomized {
 		rng = rand.New(rand.NewSource(tr.seed))
@@ -213,7 +241,7 @@ func runTrial(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, tr 
 // slot so pickBest is deterministic given the set of completed trials; a
 // satisfied maxWidth or an exhausted budget stops further trials from being
 // handed out (in-flight ones finish and still count).
-func runParallel(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, trials []trial, budget *stepCounter, results []*decomp.Decomposition, workers, maxWidth int) error {
+func runParallel(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, trials []trial, budget *Budget, results []*decomp.Decomposition, workers, maxWidth int) error {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -270,18 +298,21 @@ func pickBest(results []*decomp.Decomposition) *decomp.Decomposition {
 	return best
 }
 
-// stepCounter is the cross-trial (and, under runParallel, cross-worker)
-// elimination-step budget. limit 0 means unlimited.
-type stepCounter struct {
+// Budget is the shared, goroutine-safe step counter of the heuristic
+// engines: one Take per vertex-elimination decision here, and — through
+// lp.Problem.Step — one per simplex pivot in the fractional re-covering
+// pass of internal/fhd. limit 0 means unlimited.
+type Budget struct {
 	mu    sync.Mutex
 	used  int
 	limit int
 }
 
-func newStepCounter(limit int) *stepCounter { return &stepCounter{limit: limit} }
+// NewBudget returns a budget of the given limit (≤ 0 = unlimited).
+func NewBudget(limit int) *Budget { return &Budget{limit: limit} }
 
-// take consumes one step and reports whether the budget still allows it.
-func (s *stepCounter) take() bool {
+// Take consumes one step and reports whether the budget still allows it.
+func (s *Budget) Take() bool {
 	if s.limit <= 0 {
 		return true
 	}
@@ -298,7 +329,7 @@ func (s *stepCounter) take() bool {
 // heuristic. rng != nil breaks score ties uniformly at random; rng == nil
 // picks the lowest-index vertex. Every vertex selection consumes one budget
 // step and observes ctx.
-func eliminationOrder(ctx context.Context, g *graph.Graph, ord Ordering, rng *rand.Rand, budget *stepCounter) ([]int, error) {
+func eliminationOrder(ctx context.Context, g *graph.Graph, ord Ordering, rng *rand.Rand, budget *Budget) ([]int, error) {
 	if ord == MaxCardinality {
 		return mcsOrder(ctx, g, rng, budget)
 	}
@@ -332,7 +363,7 @@ func eliminationOrder(ctx context.Context, g *graph.Graph, ord Ordering, rng *ra
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if !budget.take() {
+		if !budget.Take() {
 			return nil, decomp.ErrStepBudget
 		}
 		best := pickMin(n, alive, score, rng)
@@ -356,7 +387,7 @@ func eliminationOrder(ctx context.Context, g *graph.Graph, ord Ordering, rng *ra
 // mcsOrder runs maximal-cardinality search on the original graph (no fill
 // simulation: MCS scores count visited neighbours) and returns the reverse
 // visit order, which is the elimination order MCS induces.
-func mcsOrder(ctx context.Context, g *graph.Graph, rng *rand.Rand, budget *stepCounter) ([]int, error) {
+func mcsOrder(ctx context.Context, g *graph.Graph, rng *rand.Rand, budget *Budget) ([]int, error) {
 	n := g.N()
 	visited := make([]bool, n)
 	weight := make([]int, n)
@@ -369,7 +400,7 @@ func mcsOrder(ctx context.Context, g *graph.Graph, rng *rand.Rand, budget *stepC
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if !budget.take() {
+		if !budget.Take() {
 			return nil, decomp.ErrStepBudget
 		}
 		// maximise weight = minimise -weight

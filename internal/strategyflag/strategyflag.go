@@ -1,0 +1,88 @@
+// Package strategyflag is the single place where the CLI strategy names of
+// cmd/qeval and cmd/hdtool are mapped onto compile options. Both tools
+// accept the same vocabulary, reject unknown names with the full valid
+// list, and stay in sync automatically when a new engine lands — the
+// historical failure mode this package removes is an error message listing
+// only the strategies that existed when the tool was written.
+package strategyflag
+
+import (
+	"fmt"
+	"strings"
+
+	"hypertree"
+)
+
+// Names lists every accepted -strategy value, in display order.
+var Names = []string{"auto", "naive", "acyclic", "hd", "ghd", "fhd", "qd"}
+
+// Valid renders the accepted names for error messages and flag help.
+func Valid() string { return strings.Join(Names, " | ") }
+
+// Options resolves a -strategy name to its compile options:
+//
+//	auto     pick the evaluation strategy automatically (Yannakakis on
+//	         acyclic queries) and, when a decomposition is needed, race the
+//	         exact, fractional and greedy engines (WithAutoStrategy)
+//	naive    no decomposition, plain join (baseline)
+//	acyclic  Yannakakis on a join tree (fails on cyclic queries)
+//	hd       exact hypertree decomposition (k-decomp)
+//	ghd      greedy generalized hypertree decomposition
+//	fhd      fractional hypertree decomposition (LP covers)
+//	qd       exact query decomposition (exponential)
+//
+// Unknown names yield an error carrying the full valid list.
+func Options(name string) ([]hypertree.CompileOption, error) {
+	switch name {
+	case "auto":
+		return []hypertree.CompileOption{
+			hypertree.WithStrategy(hypertree.StrategyAuto),
+			hypertree.WithAutoStrategy(),
+		}, nil
+	case "naive":
+		return []hypertree.CompileOption{hypertree.WithStrategy(hypertree.StrategyNaive)}, nil
+	case "acyclic":
+		return []hypertree.CompileOption{hypertree.WithStrategy(hypertree.StrategyAcyclic)}, nil
+	case "hd":
+		return []hypertree.CompileOption{hypertree.WithStrategy(hypertree.StrategyHypertree)}, nil
+	case "ghd":
+		return []hypertree.CompileOption{
+			hypertree.WithStrategy(hypertree.StrategyHypertree),
+			hypertree.WithDecomposer(hypertree.GreedyDecomposer()),
+		}, nil
+	case "fhd":
+		return []hypertree.CompileOption{
+			hypertree.WithStrategy(hypertree.StrategyHypertree),
+			hypertree.WithDecomposer(hypertree.FractionalDecomposer()),
+		}, nil
+	case "qd":
+		return []hypertree.CompileOption{
+			hypertree.WithStrategy(hypertree.StrategyHypertree),
+			hypertree.WithDecomposer(hypertree.QueryDecomposer()),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (valid: %s)", name, Valid())
+	}
+}
+
+// DecompositionNames lists the subset of Names that always produce a
+// decomposition-backed plan — the vocabulary of cmd/hdtool.
+var DecompositionNames = []string{"auto", "hd", "ghd", "fhd", "qd"}
+
+// DecompositionOptions is Options restricted to DecompositionNames — the
+// vocabulary of cmd/hdtool, which exists to print decompositions. "auto"
+// here races the engines under StrategyHypertree instead of
+// short-circuiting acyclic queries to Yannakakis.
+func DecompositionOptions(name string) ([]hypertree.CompileOption, error) {
+	switch name {
+	case "hd", "ghd", "fhd", "qd":
+		return Options(name)
+	case "auto":
+		return []hypertree.CompileOption{
+			hypertree.WithStrategy(hypertree.StrategyHypertree),
+			hypertree.WithAutoStrategy(),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown decomposition strategy %q (valid: %s)", name, strings.Join(DecompositionNames, " | "))
+	}
+}

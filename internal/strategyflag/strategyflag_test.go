@@ -1,0 +1,81 @@
+package strategyflag
+
+import (
+	"strings"
+	"testing"
+
+	"hypertree"
+)
+
+// Every listed name must resolve, and compiled plans must carry the
+// expected decomposer identity.
+func TestOptionsRoundTrip(t *testing.T) {
+	q := hypertree.MustParseQuery(`r(X,Y), s(Y,Z), t(Z,X)`) // cyclic
+	for _, name := range Names {
+		opts, err := Options(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "acyclic" {
+			continue // cyclic query: compilation legitimately fails
+		}
+		p, err := hypertree.Compile(q, opts...)
+		if err != nil {
+			t.Fatalf("%s compile: %v", name, err)
+		}
+		switch name {
+		case "ghd", "fhd", "qd":
+			if got := p.DecomposerName(); got != map[string]string{
+				"ghd": "ghd", "fhd": "fhd", "qd": "query-decomp"}[name] {
+				t.Errorf("%s: decomposer %q", name, got)
+			}
+		case "auto":
+			if !strings.HasPrefix(p.DecomposerName(), "auto(") {
+				t.Errorf("auto: decomposer %q", p.DecomposerName())
+			}
+		}
+	}
+}
+
+// Unknown names are rejected with the complete valid list — by both
+// resolvers.
+func TestUnknownNameListsEveryStrategy(t *testing.T) {
+	_, err := Options("minfill")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, name := range Names {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("Options error %q omits %q", err, name)
+		}
+	}
+	derr := func() error {
+		_, err := DecompositionOptions("naive")
+		return err
+	}()
+	if derr == nil {
+		t.Fatal("DecompositionOptions must reject evaluation-only strategies")
+	}
+	for _, name := range DecompositionNames {
+		if !strings.Contains(derr.Error(), name) {
+			t.Errorf("DecompositionOptions error %q omits %q", derr, name)
+		}
+	}
+}
+
+// DecompositionOptions("auto") must race under StrategyHypertree even on
+// acyclic queries, so hdtool always has a decomposition to print.
+func TestDecompositionAutoAlwaysDecomposes(t *testing.T) {
+	q := hypertree.MustParseQuery(`a(X,Y), b(Y,Z)`) // acyclic
+	opts, err := DecompositionOptions("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hypertree.Compile(q, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Decomposition() == nil {
+		t.Fatal("auto decomposition strategy produced no decomposition")
+	}
+}

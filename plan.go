@@ -31,6 +31,7 @@ type Plan struct {
 	shardWorkers int
 	decomposer   string
 	generalized  bool // decomposition validated as a GHD (conditions 1–3 only)
+	fractional   bool // decomposition carries fractional λ weights (validated by ValidateFHD)
 }
 
 // compileConfig is assembled by the functional options.
@@ -41,6 +42,7 @@ type compileConfig struct {
 	workers      int
 	shardWorkers int
 	decomposer   Decomposer
+	race         bool  // WithAutoStrategy: race the engines instead of fixing one
 	err          error // first invalid option
 }
 
@@ -92,6 +94,24 @@ func WithDecomposer(d Decomposer) CompileOption {
 	return func(c *compileConfig) { c.decomposer = d }
 }
 
+// WithAutoStrategy enables adaptive decomposer selection: when the plan
+// needs a decomposition, Compile races the exact k-decomp engine, the
+// fractional (LP-cover) engine and the greedy GHD engine concurrently
+// under the shared context and step-budget plumbing, and keeps the result
+// of lowest achieved fractional width — the evaluation-cost exponent —
+// with ties broken by guarantee strength (exact HD, then fhd, then ghd).
+// The exact entrant runs under WithStepBudget's budget, or
+// DefaultRaceExactBudget when none is set, so the race always terminates;
+// engines that fail just drop out. The winner is recorded in
+// Plan.DecomposerName as "auto(<engine>)", and auto-compiled plans are
+// cached under the strategy name "auto" — they never collide with plans
+// compiled through an explicit decomposer. Incompatible with
+// WithDecomposer. On acyclic queries under StrategyAuto the Yannakakis
+// path still wins and no race runs.
+func WithAutoStrategy() CompileOption {
+	return func(c *compileConfig) { c.race = true }
+}
+
 // WithStepBudget bounds the number of search steps (candidate separator
 // sets tested) the decomposition search may spend; n ≥ 1. An exhausted
 // budget surfaces as ErrStepBudget from Compile — the NP-hard searches
@@ -115,6 +135,9 @@ func newCompileConfig(opts []CompileOption) (*compileConfig, error) {
 	}
 	if cfg.err != nil {
 		return nil, cfg.err
+	}
+	if cfg.race && cfg.decomposer != nil {
+		return nil, fmt.Errorf("hypertree: WithAutoStrategy races the built-in engines and cannot be combined with WithDecomposer")
 	}
 	return cfg, nil
 }
@@ -195,32 +218,52 @@ func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 	case StrategyHypertree:
 		h := QueryHypergraph(q)
 		var dec *Decomposition
-		if h.NumEdges() == 0 {
+		req := DecomposeRequest{
+			MaxWidth:   cfg.maxWidth,
+			StepBudget: cfg.stepBudget,
+			Workers:    cfg.workers,
+		}
+		switch {
+		case h.NumEdges() == 0:
 			dec = &decomp.Decomposition{H: h}
-		} else {
+		case cfg.race:
+			win, err := raceDecomposers(ctx, h, req)
+			if err != nil {
+				return nil, err
+			}
+			p.decomposer = "auto(" + win.name + ")"
+			p.generalized = win.generalized
+			p.fractional = win.fractional
+			dec = win.dec
+		default:
 			d := cfg.chosenDecomposer()
 			p.decomposer = d.Name()
-			if g, ok := d.(GeneralizedDecomposer); ok && g.Generalized() {
+			if f, ok := d.(FractionalWidthDecomposer); ok && f.Fractional() {
+				p.fractional, p.generalized = true, true
+			} else if g, ok := d.(GeneralizedDecomposer); ok && g.Generalized() {
 				p.generalized = true
 			}
-			dec, err = d.Decompose(ctx, h, DecomposeRequest{
-				MaxWidth:   cfg.maxWidth,
-				StepBudget: cfg.stepBudget,
-				Workers:    cfg.workers,
-			})
+			dec, err = d.Decompose(ctx, h, req)
 			if err != nil {
 				return nil, err
 			}
 			if dec == nil {
 				return nil, fmt.Errorf("hypertree: decomposer %q returned no decomposition and no error", p.decomposer)
 			}
+		}
+		if h.NumEdges() > 0 {
 			// HD mode checks all four conditions of Definition 4.1; GHD mode
 			// checks the cover conditions 1–3 only — evaluation (Lemma 4.6)
 			// never needs the descendant condition, so relaxing it here is
-			// safe and is what lets heuristic decomposers through.
-			if p.generalized {
+			// safe and is what lets heuristic decomposers through. The
+			// fractional mode adds the weight checks of ValidateFHD on top
+			// of the GHD conditions.
+			switch {
+			case p.fractional:
+				err = dec.ValidateFractional()
+			case p.generalized:
 				err = dec.ValidateGHD()
-			} else {
+			default:
 				err = dec.Validate()
 			}
 			if err != nil {
@@ -266,8 +309,29 @@ func (p *Plan) Width() int {
 	}
 }
 
+// FractionalWidth returns the width of the plan's decomposition under its
+// fractional λ weights: max over nodes of the total edge weight, where
+// nodes without weights count each λ edge at 1. For integral plans this
+// equals float64(Width()); for plans compiled through FractionalDecomposer
+// (or an auto race the fractional engine won) it is the achieved
+// fractional hypertree width, which can be strictly smaller — by the AGM
+// bound it is the tighter exponent on the O(r^w) node-table size of
+// Lemma 4.6. Mirroring Width, it is 1 for the acyclic strategy and 0 for
+// the naive strategy.
+func (p *Plan) FractionalWidth() float64 {
+	switch {
+	case p.dec != nil:
+		return p.dec.FractionalWidth()
+	case p.strategy == StrategyAcyclic:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // DecomposerName returns the Name of the Decomposer that produced the
-// plan's decomposition ("" when no search ran).
+// plan's decomposition ("" when no search ran). Plans compiled under
+// WithAutoStrategy report the race winner as "auto(<engine>)".
 func (p *Plan) DecomposerName() string { return p.decomposer }
 
 // Generalized reports whether the plan's decomposition is a generalized
@@ -276,13 +340,21 @@ func (p *Plan) DecomposerName() string { return p.decomposer }
 // than equalling the exact hypertree width.
 func (p *Plan) Generalized() bool { return p.generalized }
 
+// Fractional reports whether the plan's decomposition carries fractional λ
+// weights (validated by ValidateFHD); FractionalWidth can then be strictly
+// below Width. Every fractional plan is also Generalized — evaluation runs
+// over the integral support sets.
+func (p *Plan) Fractional() bool { return p.fractional }
+
 // String summarises the plan.
 func (p *Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan{%s", strategyName(p.strategy))
 	if p.dec != nil {
 		fmt.Fprintf(&b, ", width=%d", p.dec.Width())
-		if p.generalized {
+		if p.fractional {
+			fmt.Fprintf(&b, ", fhw=%.4g (fhd)", p.dec.FractionalWidth())
+		} else if p.generalized {
 			b.WriteString(" (ghd)")
 		}
 	}

@@ -167,6 +167,15 @@ type CacheMetrics struct {
 // concurrent Compile, Len, Purge and Metrics calls: every counter mutation
 // happens under the same mutex the snapshot takes (audited with the race
 // detector; see TestPlanCacheMetricsConcurrent).
+//
+// Counters are attributed per resolved strategy name: "k-decomp", "ghd",
+// "fhd" and "auto" compiles of the same query occupy four distinct slots
+// (see planCacheKey), so a hit under one name never masks a miss under
+// another. An adaptive compile counts against "auto" regardless of which
+// engine the race resolved to — the resolved winner lives on the cached
+// Plan (DecomposerName reports "auto(<engine>)"), not in the key, which is
+// what keeps repeated auto lookups hitting even when the race is
+// nondeterministic about its winner.
 func (c *PlanCache) Metrics() CacheMetrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -182,11 +191,19 @@ func (c *PlanCache) Purge() {
 	c.items = map[string]*list.Element{}
 }
 
-// planCacheKey fingerprints the query and every option that shapes the plan.
+// planCacheKey fingerprints the query and every option that shapes the
+// plan. The strategy-name component is the decomposer name the caller
+// asked for — "auto" for WithAutoStrategy compiles (newCompileConfig
+// rejects auto + WithDecomposer, so the two can never be confused) — which
+// keeps lookups stable even though an auto plan records the resolved race
+// winner in Plan.DecomposerName.
 func planCacheKey(q *Query, cfg *compileConfig) string {
 	name := ""
 	if cfg.decomposer != nil {
 		name = cfg.decomposer.Name()
+	}
+	if cfg.race {
+		name = "auto"
 	}
 	return fmt.Sprintf("%s|s%d|k%d|b%d|w%d|sw%d|%s",
 		cq.CanonicalForm(q), cfg.strategy, cfg.maxWidth, cfg.stepBudget, cfg.workers, cfg.shardWorkers, name)

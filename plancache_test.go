@@ -2,6 +2,7 @@ package hypertree
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -122,6 +123,62 @@ func TestPlanCacheDecomposerKeySeparation(t *testing.T) {
 	}
 	if cache.Len() != 3 {
 		t.Fatalf("cache len = %d, want 3", cache.Len())
+	}
+}
+
+// Regression: the full strategy-name surface — k-decomp, ghd, fhd and an
+// auto race — keys four distinct cache slots for the same query, each of
+// which hits on recompilation. Auto plans are keyed under "auto" (stable
+// lookups) even though the plan itself records the resolved race winner,
+// and the resolved winner never hijacks the explicit engines' slots.
+func TestPlanCacheStrategyNamesNeverCollide(t *testing.T) {
+	cache := NewPlanCache(16)
+	ctx := context.Background()
+	q := MustParseQuery(`r(X,Y), s(Y,Z), t(Z,X)`)
+	variants := map[string][]CompileOption{
+		"k-decomp": {WithStrategy(StrategyHypertree), WithDecomposer(KDecomposer())},
+		"ghd":      {WithStrategy(StrategyHypertree), WithDecomposer(GreedyDecomposer())},
+		"fhd":      {WithStrategy(StrategyHypertree), WithDecomposer(FractionalDecomposer())},
+		"auto":     {WithStrategy(StrategyHypertree), WithAutoStrategy()},
+	}
+	plans := map[string]*Plan{}
+	for name, opts := range variants {
+		p, err := cache.Compile(ctx, q, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		plans[name] = p
+	}
+	if cache.Len() != len(variants) {
+		t.Fatalf("cache len = %d, want %d distinct entries", cache.Len(), len(variants))
+	}
+	seen := map[*Plan]string{}
+	for name, p := range plans {
+		if prev, dup := seen[p]; dup {
+			t.Fatalf("%s and %s share one cached plan", prev, name)
+		}
+		seen[p] = name
+	}
+	for name, opts := range variants {
+		p, err := cache.Compile(ctx, q, opts...)
+		if err != nil {
+			t.Fatalf("%s recompile: %v", name, err)
+		}
+		if p != plans[name] {
+			t.Fatalf("%s recompile missed its own slot", name)
+		}
+	}
+	m := cache.Metrics()
+	if m.Hits != uint64(len(variants)) || m.Misses != uint64(len(variants)) {
+		t.Fatalf("metrics = %+v, want %d hits / %d misses", m, len(variants), len(variants))
+	}
+	// The resolved names tell the engines apart even though the auto slot
+	// is keyed as "auto".
+	if n := plans["fhd"].DecomposerName(); n != "fhd" {
+		t.Fatalf("fhd plan name %q", n)
+	}
+	if n := plans["auto"].DecomposerName(); !strings.HasPrefix(n, "auto(") {
+		t.Fatalf("auto plan name %q, want auto(<winner>)", n)
 	}
 }
 

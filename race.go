@@ -1,0 +1,104 @@
+package hypertree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hypertree/internal/decomp"
+)
+
+// DefaultRaceExactBudget is the step budget WithAutoStrategy imposes on the
+// exact k-decomp engine when the caller set none: the exact search is
+// exponential in the width, so an unbudgeted entrant would let a single
+// hard instance stall the whole race. The heuristic engines are polynomial
+// and run unbudgeted unless the caller says otherwise. 200k steps decide
+// the structured families (cycles, grids, small cliques) exactly and give
+// up within milliseconds on the instances only the heuristics can serve —
+// the same scale hdbench E22 uses.
+const DefaultRaceExactBudget = 200_000
+
+// raceEntrant is one engine in the adaptive-strategy race.
+type raceEntrant struct {
+	dec         Decomposer
+	budget      int
+	generalized bool
+	fractional  bool
+}
+
+// raceOutcome is the winning entrant's result.
+type raceOutcome struct {
+	name        string
+	dec         *Decomposition
+	generalized bool
+	fractional  bool
+}
+
+// raceDecomposers runs the exact, fractional and greedy engines
+// concurrently on h and picks the winner: the decomposition of lowest
+// achieved fractional width (the evaluation-cost exponent — by the AGM
+// bound a node table holds at most r^fw tuples), ties broken by guarantee
+// strength in the fixed order exact > fhd > ghd. Every entrant observes ctx
+// and its own step budget, so the race always terminates: the exact engine
+// gets req.StepBudget or DefaultRaceExactBudget, the polynomial heuristics
+// req.StepBudget as given. Entrants that fail (budget, width bound, or any
+// other reason) simply drop out; if all fail, the joined errors surface.
+func raceDecomposers(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*raceOutcome, error) {
+	exact := KDecomposer()
+	if req.Workers > 1 {
+		exact = ParallelKDecomposer()
+	}
+	exactBudget := req.StepBudget
+	if exactBudget == 0 {
+		exactBudget = DefaultRaceExactBudget
+	}
+	entrants := []raceEntrant{
+		{dec: exact, budget: exactBudget},
+		{dec: FractionalDecomposer(), budget: req.StepBudget, generalized: true, fractional: true},
+		{dec: GreedyDecomposer(), budget: req.StepBudget, generalized: true},
+	}
+
+	type result struct {
+		d   *Decomposition
+		err error
+	}
+	results := make([]result, len(entrants))
+	var wg sync.WaitGroup
+	for i, e := range entrants {
+		wg.Add(1)
+		go func(i int, e raceEntrant) {
+			defer wg.Done()
+			r := req
+			r.StepBudget = e.budget
+			d, err := e.dec.Decompose(ctx, h, r)
+			results[i] = result{d: d, err: err}
+		}(i, e)
+	}
+	wg.Wait()
+
+	win := -1
+	winFW := 0.0
+	for i, r := range results {
+		if r.err != nil || r.d == nil {
+			continue
+		}
+		fw := r.d.FractionalWidth()
+		if win < 0 || fw < winFW-decomp.FracEps {
+			win, winFW = i, fw
+		}
+	}
+	if win < 0 {
+		errs := make([]error, 0, len(entrants))
+		for i, r := range results {
+			errs = append(errs, fmt.Errorf("%s: %w", entrants[i].dec.Name(), r.err))
+		}
+		return nil, fmt.Errorf("hypertree: every raced decomposer failed: %w", errors.Join(errs...))
+	}
+	return &raceOutcome{
+		name:        entrants[win].dec.Name(),
+		dec:         results[win].d,
+		generalized: entrants[win].generalized,
+		fractional:  entrants[win].fractional,
+	}, nil
+}

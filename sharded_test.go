@@ -28,8 +28,10 @@ func partitionings(t *testing.T, db *Database) map[string]*PartitionedDB {
 }
 
 // The cross-path property: ExecuteSharded ≡ Execute on random acyclic and
-// cyclic queries, for both the exact k-decomp and the greedy GHD
-// decomposers, across shard counts 1, 2 and 7 and both strategies.
+// cyclic queries, for the exact k-decomp, the greedy GHD and the
+// fractional decomposers, across shard counts 1, 2 and 7 and both
+// strategies — fhd plans evaluate over their integral support sets, so the
+// sharded fragment-and-replicate path must serve them unchanged.
 func TestPropertyShardedEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(331))
 	ctx := context.Background()
@@ -56,6 +58,7 @@ func TestPropertyShardedEquivalence(t *testing.T) {
 		for name, opt := range map[string]CompileOption{
 			"k-decomp": WithDecomposer(KDecomposer()),
 			"ghd":      WithDecomposer(GreedyDecomposer()),
+			"fhd":      WithDecomposer(FractionalDecomposer()),
 		} {
 			plan, err := Compile(q, WithStrategy(StrategyHypertree), opt)
 			if err != nil {
@@ -104,7 +107,11 @@ func TestPropertyShardedEquivalenceWithHeads(t *testing.T) {
 		v := base.VarName(rng.Intn(base.NumVars()))
 		q := MustParseQuery(`ans(` + v + `) :- ` + stripHead(base.String()))
 		db := gen.RandomDatabase(rng, q, 1+rng.Intn(15), 3)
-		plan, err := Compile(q, WithStrategy(StrategyHypertree), WithDecomposer(GreedyDecomposer()))
+		opt := WithDecomposer(GreedyDecomposer())
+		if trial%2 == 1 {
+			opt = WithDecomposer(FractionalDecomposer())
+		}
+		plan, err := Compile(q, WithStrategy(StrategyHypertree), opt)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
