@@ -594,3 +594,63 @@ func BenchmarkE24Fractional(b *testing.B) {
 		}
 	})
 }
+
+// E25: cost-based versus width-only planning on a skewed database — the
+// same auto race, with and without statistics, executing the plan it
+// picked. Width ties at 2 on gen.CostSeparationQuery, so the entire
+// separation is the cost model steering the λ placements away from the
+// giant relation (cmd/hdbench E25 prints the width/cost/speedup rows).
+func BenchmarkE25CostBased(b *testing.B) {
+	q := gen.CostSeparationQuery()
+	db := gen.SkewedSizeDatabase(rand.New(rand.NewSource(25)), q, 2_000, 250, 3)
+	st := CollectStats(db)
+	ctx := context.Background()
+	compile := func(b *testing.B, opts ...CompileOption) *Plan {
+		opts = append([]CompileOption{
+			WithStrategy(StrategyHypertree),
+			WithAutoStrategy(),
+			WithStepBudget(200_000),
+		}, opts...)
+		p, err := Compile(q, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	b.Run("width-only", func(b *testing.B) {
+		p := compile(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Execute(ctx, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cost-based", func(b *testing.B) {
+		p := compile(b, WithCostModel(st))
+		if p.EstimatedCost() <= 0 {
+			b.Fatal("cost-based plan carries no estimate")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Execute(ctx, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile-with-stats-collection", func(b *testing.B) {
+		// the full cost-based compile path including sampled collection —
+		// what qeval -stats pays per query
+		for i := 0; i < b.N; i++ {
+			p, err := Compile(q,
+				WithStrategy(StrategyHypertree),
+				WithAutoStrategy(),
+				WithStepBudget(200_000),
+				WithStats(db))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = p
+		}
+	})
+}

@@ -23,6 +23,9 @@
 //	-widths       print the width report: integral width, achieved
 //	              fractional width, and the LP-optimal fractional re-cover
 //	              of the tree's bags
+//	-explain      print the compiled plan's per-node cost/width report
+//	              (hdtool sees no database, so the report is width-only;
+//	              qeval -stats -explain prices it against real relations)
 //	-parallel N   use N workers for the decomposition search
 //	-budget N     abort after N search steps
 //	-timeout D    abort the search after duration D (e.g. 5s)
@@ -50,6 +53,7 @@ func main() {
 		ghd      = flag.Bool("ghd", false, "deprecated alias for -strategy ghd")
 		qw       = flag.Bool("qw", false, "also compute the query width (exponential)")
 		widths   = flag.Bool("widths", false, "print integral, fractional and LP-optimal widths")
+		explain  = flag.Bool("explain", false, "print the plan's per-node cost/width report")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the search (0 = sequential)")
 		budget   = flag.Int("budget", 0, "abort after this many search steps (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 0, "abort the search after this duration (0 = none)")
@@ -71,13 +75,13 @@ func main() {
 		}
 		name = "ghd"
 	}
-	if err := run(name, *k, *qw, *widths, *parallel, *budget, *timeout, *dot, *jt, flag.Args()); err != nil {
+	if err := run(name, *k, *qw, *widths, *explain, *parallel, *budget, *timeout, *dot, *jt, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hdtool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(strategy string, k int, qw, widths bool, parallel, budget int, timeout time.Duration, dot, printJT bool, args []string) error {
+func run(strategy string, k int, qw, widths, explain bool, parallel, budget int, timeout time.Duration, dot, printJT bool, args []string) error {
 	opts, err := strategyflag.DecompositionOptions(strategy)
 	if err != nil {
 		return err
@@ -172,6 +176,9 @@ func run(strategy string, k int, qw, widths bool, parallel, budget int, timeout 
 		}
 		fmt.Printf("width report: width=%d fhw=%.4g optimal-bag-fhw=%.4g\n",
 			plan.Width(), plan.FractionalWidth(), opt)
+	}
+	if explain {
+		fmt.Print(plan.Explain())
 	}
 	if dot {
 		fmt.Print(hypertree.DOT(d))

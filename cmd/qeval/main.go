@@ -4,7 +4,8 @@
 //
 //	qeval -query queryfile -db factsfile [-db2 factsfile ...]
 //	      [-strategy auto|naive|acyclic|hd|ghd|fhd|qd] [-workers N]
-//	      [-timeout D] [-widths] [-shards N] [-partition hash|rr]
+//	      [-timeout D] [-widths] [-stats] [-explain]
+//	      [-shards N] [-partition hash|rr]
 //
 // The query file holds one rule ("ans(X) :- r(X,Y), s(Y,Z)."); each facts
 // file holds ground atoms, one or more per line ("r(a,b). s(b,c)."). For a
@@ -18,6 +19,14 @@
 // keeping the lowest-width winner. -widths prints the width report of the
 // compiled plan: integral width, achieved fractional width, and the
 // decomposer that produced it.
+//
+// With -stats, sampled statistics are collected from the first database
+// before compiling and planning becomes cost-based: the race ranks engines
+// by estimated total evaluation cost, the heuristics break width ties
+// toward cheaper λ placements, and joins run smallest-relation first.
+// -explain prints the compiled plan's per-node cost/width report — which
+// relations each λ label joins and what each node is estimated to
+// materialise.
 //
 // With -shards N > 0 each database is partitioned N ways (-partition picks
 // hash or round-robin tuple placement) and the plan runs through
@@ -46,17 +55,19 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort compilation/evaluation after this duration")
 		timing    = flag.Bool("time", false, "print compile and evaluation wall time")
 		widths    = flag.Bool("widths", false, "print the compiled plan's width report")
+		useStats  = flag.Bool("stats", false, "collect statistics from the first database and plan cost-based")
+		explain   = flag.Bool("explain", false, "print the compiled plan's per-node cost/width report")
 		shards    = flag.Int("shards", 0, "partition each database N ways and execute sharded (0 = off)")
 		partition = flag.String("partition", "hash", "tuple placement for -shards: hash | rr")
 	)
 	flag.Parse()
-	if err := run(*queryFile, *dbFile, *dbFile2, *strategy, *workers, *timeout, *timing, *widths, *shards, *partition); err != nil {
+	if err := run(*queryFile, *dbFile, *dbFile2, *strategy, *workers, *timeout, *timing, *widths, *useStats, *explain, *shards, *partition); err != nil {
 		fmt.Fprintln(os.Stderr, "qeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout time.Duration, timing, widths bool, shards int, partition string) error {
+func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout time.Duration, timing, widths, useStats, explain bool, shards int, partition string) error {
 	if queryFile == "" || dbFile == "" {
 		return fmt.Errorf("both -query and -db are required")
 	}
@@ -78,12 +89,31 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 		return err
 	}
 
+	files := []string{dbFile}
+	if dbFile2 != "" {
+		files = append(files, dbFile2)
+	}
+	dbs := make([]*hypertree.Database, len(files))
+	for i, f := range files {
+		facts, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		dbs[i] = hypertree.NewDatabase()
+		if err := dbs[i].ParseFacts(string(facts)); err != nil {
+			return err
+		}
+	}
+
 	opts, err := strategyflag.Options(strategyName)
 	if err != nil {
 		return err
 	}
 	if workers > 0 {
 		opts = append(opts, hypertree.WithWorkers(workers))
+	}
+	if useStats {
+		opts = append(opts, hypertree.WithStats(dbs[0]))
 	}
 
 	ctx := context.Background()
@@ -102,22 +132,13 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 	if widths {
 		printWidths(plan)
 	}
-
-	files := []string{dbFile}
-	if dbFile2 != "" {
-		files = append(files, dbFile2)
+	if explain {
+		fmt.Print(plan.Explain())
 	}
-	for _, f := range files {
-		facts, err := os.ReadFile(f)
-		if err != nil {
-			return err
-		}
-		db := hypertree.NewDatabase()
-		if err := db.ParseFacts(string(facts)); err != nil {
-			return err
-		}
-		if len(files) > 1 {
-			fmt.Printf("-- %s --\n", f)
+
+	for i, db := range dbs {
+		if len(dbs) > 1 {
+			fmt.Printf("-- %s --\n", files[i])
 		}
 		var table *hypertree.Table
 		var elapsed time.Duration

@@ -1,0 +1,304 @@
+package hypertree
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hypertree/internal/gen"
+)
+
+// The central safety property of cost-based planning: statistics choose
+// among plans and join orders, never answers. Execute / ExecuteBoolean /
+// ExecuteSharded with WithStats must agree with the width-only compile of
+// the same query, on random acyclic and cyclic instances, across the exact
+// k-decomp, greedy GHD and fractional decomposers and the auto race, over
+// databases with skewed relation sizes (where the cost model actually
+// reorders things).
+func TestPropertyStatsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(525))
+	ctx := context.Background()
+	acyclicSeen, cyclicSeen := 0, 0
+	for trial := 0; trial < 18; trial++ {
+		var q *Query
+		switch trial % 4 {
+		case 0:
+			q = gen.Cycle(3 + rng.Intn(4)) // cyclic
+		case 1:
+			q = gen.Path(2 + rng.Intn(4)) // acyclic
+		case 2:
+			q = gen.RandomCSP(rng, 4+rng.Intn(3), 7+rng.Intn(3), 3) // cyclic
+		default:
+			q = gen.RandomQuery(rng, 2+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(3))
+		}
+		if IsAcyclic(q) {
+			acyclicSeen++
+		} else {
+			cyclicSeen++
+		}
+		// skewed sizes so the cost model genuinely reorders joins and covers
+		db := gen.SkewedSizeDatabase(rng, q, 8+rng.Intn(40), 2+rng.Intn(6), 1+2*rng.Float64())
+
+		for name, opts := range map[string][]CompileOption{
+			"k-decomp": {WithStrategy(StrategyHypertree), WithDecomposer(KDecomposer())},
+			"ghd":      {WithStrategy(StrategyHypertree), WithDecomposer(GreedyDecomposer())},
+			"fhd":      {WithStrategy(StrategyHypertree), WithDecomposer(FractionalDecomposer())},
+			"auto":     {WithStrategy(StrategyAuto), WithAutoStrategy()},
+		} {
+			plain, err := Compile(q, opts...)
+			if err != nil {
+				t.Fatalf("trial %d %s compile: %v", trial, name, err)
+			}
+			costed, err := Compile(q, append(opts[:len(opts):len(opts)], WithStats(db))...)
+			if err != nil {
+				t.Fatalf("trial %d %s compile with stats: %v", trial, name, err)
+			}
+			want, err := plain.Execute(ctx, db)
+			if err != nil {
+				t.Fatalf("trial %d %s execute: %v", trial, name, err)
+			}
+			got, err := costed.Execute(ctx, db)
+			if err != nil {
+				t.Fatalf("trial %d %s execute with stats: %v", trial, name, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d %s: stats changed answers: %d rows vs %d\nquery %s\nwidth-only %s\ncost-based %s",
+					trial, name, got.Rows(), want.Rows(), q, plain.Explain(), costed.Explain())
+			}
+			wantBool, err := plain.ExecuteBoolean(ctx, db)
+			if err != nil {
+				t.Fatalf("trial %d %s boolean: %v", trial, name, err)
+			}
+			gotBool, err := costed.ExecuteBoolean(ctx, db)
+			if err != nil {
+				t.Fatalf("trial %d %s boolean with stats: %v", trial, name, err)
+			}
+			if gotBool != wantBool {
+				t.Fatalf("trial %d %s: stats changed the Boolean verdict", trial, name)
+			}
+			// the sharded path must serve stats-ordered plans unchanged
+			for _, shards := range []int{1, 3} {
+				pdb, err := PartitionDatabase(db, shards, HashPartition)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sh, err := costed.ExecuteSharded(ctx, pdb)
+				if err != nil {
+					t.Fatalf("trial %d %s sharded(%d) with stats: %v", trial, name, shards, err)
+				}
+				if !sh.Equal(want) {
+					t.Fatalf("trial %d %s: sharded(%d) stats execution changed answers", trial, name, shards)
+				}
+			}
+		}
+	}
+	if acyclicSeen == 0 || cyclicSeen == 0 {
+		t.Fatalf("workload mix degenerate: %d acyclic, %d cyclic", acyclicSeen, cyclicSeen)
+	}
+}
+
+// Non-Boolean heads must survive cost-based reordering too: the join
+// ordering changes the intermediate tables, and the head projection is
+// where a wrong column convention would surface.
+func TestStatsEquivalenceWithHeads(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(77))
+	for _, src := range []string{
+		`ans(X, Z) :- r(X, Y), s(Y, Z), t(Z, X).`,
+		`ans(A, C) :- e1(A, B), e2(B, C), e3(C, D), e4(D, A), cheap(A, B).`,
+		`ans(X) :- r(X, Y), s(Y, Z).`,
+	} {
+		q := MustParseQuery(src)
+		db := gen.SkewedSizeDatabase(rng, q, 60, 4, 2)
+		for _, opts := range [][]CompileOption{
+			{WithStrategy(StrategyAuto), WithAutoStrategy()},
+			{WithStrategy(StrategyHypertree), WithDecomposer(GreedyDecomposer())},
+		} {
+			plain, err := Compile(q, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			costed, err := Compile(q, append(opts[:len(opts):len(opts)], WithStats(db))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := plain.Execute(ctx, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := costed.Execute(ctx, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s: stats changed answers (%d vs %d rows)", src, got.Rows(), want.Rows())
+			}
+		}
+	}
+}
+
+// On the cost-separation workload the cost-based auto race must pick a
+// same-width plan of strictly lower estimated cost than the width-only
+// race — the deterministic core of hdbench E25.
+func TestCostBasedAutoBeatsWidthOnly(t *testing.T) {
+	q := gen.CostSeparationQuery()
+	db := gen.SkewedSizeDatabase(rand.New(rand.NewSource(25)), q, 2000, 250, 3)
+	st := CollectStats(db)
+	widthPlan, err := Compile(q, WithStrategy(StrategyHypertree), WithAutoStrategy(), WithStepBudget(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	costPlan, err := Compile(q, WithStrategy(StrategyHypertree), WithAutoStrategy(), WithStepBudget(200_000), WithCostModel(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if widthPlan.Width() != costPlan.Width() {
+		t.Fatalf("widths diverged: %d vs %d", widthPlan.Width(), costPlan.Width())
+	}
+	wCost := EstimateCost(q, widthPlan.Decomposition(), st)
+	cCost := EstimateCost(q, costPlan.Decomposition(), st)
+	if !(cCost < wCost) {
+		t.Fatalf("cost-based plan estimated at %g, width-only at %g", cCost, wCost)
+	}
+	if costPlan.EstimatedCost() <= 0 {
+		t.Fatal("cost-based plan reports no EstimatedCost")
+	}
+	if widthPlan.EstimatedCost() != 0 {
+		t.Fatalf("width-only plan reports EstimatedCost %g, want 0", widthPlan.EstimatedCost())
+	}
+	if widthPlan.PlanStats() != nil || costPlan.PlanStats() != st {
+		t.Fatal("PlanStats must echo exactly the compile-time snapshot")
+	}
+}
+
+func TestStatsOptionValidation(t *testing.T) {
+	q := MustParseQuery(`r(X, Y), s(Y, Z), t(Z, X).`)
+	if _, err := Compile(q, WithStats(nil)); err == nil {
+		t.Error("WithStats(nil) accepted")
+	}
+	if _, err := Compile(q, WithCostModel(nil)); err == nil {
+		t.Error("WithCostModel(nil) accepted")
+	}
+	// WithCostModel wins over WithStats
+	db := gen.RandomDatabase(rand.New(rand.NewSource(1)), q, 10, 4)
+	st := CollectStats(db)
+	other := NewDatabase()
+	p, err := Compile(q, WithStrategy(StrategyHypertree), WithStats(other), WithCostModel(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PlanStats() != st {
+		t.Error("WithCostModel did not take precedence over WithStats")
+	}
+}
+
+func TestExplainReports(t *testing.T) {
+	q := MustParseQuery(`r(X, Y), s(Y, Z), t(Z, X).`)
+	db := gen.RandomDatabase(rand.New(rand.NewSource(2)), q, 12, 4)
+
+	plain, err := Compile(q, WithStrategy(StrategyHypertree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.Explain(); !strings.Contains(got, "width-only") || !strings.Contains(got, "λ=") {
+		t.Errorf("width-only Explain:\n%s", got)
+	}
+
+	costed, err := Compile(q, WithStrategy(StrategyHypertree), WithStats(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := costed.Explain()
+	for _, want := range []string{"cost-based", "est=", "rows]", "estimated total cost"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("cost-based Explain misses %q:\n%s", want, got)
+		}
+	}
+
+	// fractional plans annotate λ weights
+	frac, err := Compile(q, WithStrategy(StrategyHypertree), WithDecomposer(FractionalDecomposer()), WithStats(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frac.Explain(); !strings.Contains(got, "fw=") || !strings.Contains(got, "·") {
+		t.Errorf("fractional Explain misses weights:\n%s", got)
+	}
+
+	// strategies without a decomposition still explain themselves
+	naive, err := Compile(q, WithStrategy(StrategyNaive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := naive.Explain(); !strings.Contains(got, "no decomposition") {
+		t.Errorf("naive Explain:\n%s", got)
+	}
+	acyc, err := Compile(MustParseQuery(`r(X, Y), s(Y, Z).`), WithStrategy(StrategyAcyclic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acyc.Explain(); !strings.Contains(got, "Yannakakis") {
+		t.Errorf("acyclic Explain:\n%s", got)
+	}
+}
+
+// Plans compiled under different statistics snapshots must occupy distinct
+// cache slots: the snapshot fingerprint participates in the key.
+func TestPlanCacheKeysOnStats(t *testing.T) {
+	ctx := context.Background()
+	q := gen.CostSeparationQuery()
+	db := gen.SkewedSizeDatabase(rand.New(rand.NewSource(3)), q, 200, 30, 2)
+	st := CollectStats(db)
+
+	cache := NewPlanCache(8)
+	base := []CompileOption{WithStrategy(StrategyHypertree), WithDecomposer(GreedyDecomposer())}
+	if _, err := cache.Compile(ctx, q, base...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Compile(ctx, q, append(base[:2:2], WithCostModel(st))...); err != nil {
+		t.Fatal(err)
+	}
+	if m := cache.Metrics(); m.Hits != 0 || m.Misses != 2 {
+		t.Fatalf("width-only and cost-based compiles shared a slot: %+v", m)
+	}
+	// same snapshot again: a hit
+	if _, err := cache.Compile(ctx, q, append(base[:2:2], WithCostModel(st))...); err != nil {
+		t.Fatal(err)
+	}
+	if m := cache.Metrics(); m.Hits != 1 {
+		t.Fatalf("identical snapshot missed: %+v", m)
+	}
+	// a drifted database: different fingerprint, different slot
+	db.AddFact("big", "zz1", "zz2")
+	st2 := CollectStats(db)
+	if st.Fingerprint() == st2.Fingerprint() {
+		t.Fatal("fingerprint ignored a cardinality change")
+	}
+	if _, err := cache.Compile(ctx, q, append(base[:2:2], WithCostModel(st2))...); err != nil {
+		t.Fatal(err)
+	}
+	if m := cache.Metrics(); m.Misses != 3 {
+		t.Fatalf("drifted snapshot served from stale slot: %+v", m)
+	}
+}
+
+// The deprecated Stats wrapper must keep reporting exactly the Metrics
+// counters.
+func TestPlanCacheStatsWrapsMetrics(t *testing.T) {
+	ctx := context.Background()
+	q := MustParseQuery(`r(X, Y), s(Y, Z), t(Z, X).`)
+	cache := NewPlanCache(4)
+	for i := 0; i < 3; i++ {
+		if _, err := cache.Compile(ctx, q, WithStrategy(StrategyHypertree)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := cache.Stats()
+	m := cache.Metrics()
+	if hits != m.Hits || misses != m.Misses {
+		t.Fatalf("Stats()=(%d,%d) disagrees with Metrics()=%+v", hits, misses, m)
+	}
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}

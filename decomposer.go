@@ -40,6 +40,14 @@ type DecomposeRequest struct {
 	// Workers is the requested parallelism for decomposers that support it
 	// (≤ 1 means sequential).
 	Workers int
+	// EdgeRows, when non-nil, holds the estimated cardinality of the
+	// relation backing each hypergraph edge (indexed by edge id). Compile
+	// fills it from the statistics given via WithStats/WithCostModel; the
+	// built-in heuristic engines use it to break width ties toward
+	// decompositions of lower estimated cost, and custom Decomposers are
+	// free to ignore it — statistics influence plan choice, never plan
+	// validity.
+	EdgeRows []float64
 }
 
 // Decomposer is a pluggable decomposition strategy: given a query hypergraph
@@ -251,7 +259,9 @@ func (g greedyDecomposer) Name() string { return g.name }
 func (greedyDecomposer) Generalized() bool { return true }
 
 func (g greedyDecomposer) Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error) {
-	return ghd.Decompose(ctx, h, g.opts, req.MaxWidth, req.StepBudget, req.Workers)
+	o := g.opts
+	o.EdgeRows = req.EdgeRows
+	return ghd.Decompose(ctx, h, o, req.MaxWidth, req.StepBudget, req.Workers)
 }
 
 // FractionalDecomposer returns the fractional hypertree Decomposer: the
@@ -295,5 +305,7 @@ func (fractionalDecomposer) Generalized() bool { return true }
 func (fractionalDecomposer) Fractional() bool { return true }
 
 func (f fractionalDecomposer) Decompose(ctx context.Context, h *Hypergraph, req DecomposeRequest) (*Decomposition, error) {
-	return fhd.Decompose(ctx, h, f.opts, req.MaxWidth, req.StepBudget)
+	o := f.opts
+	o.EdgeRows = req.EdgeRows
+	return fhd.Decompose(ctx, h, o, req.MaxWidth, req.StepBudget)
 }

@@ -1,0 +1,94 @@
+package hypertree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EstimatedCost returns the plan's total estimated evaluation cost under
+// the statistics it was compiled with: the sum over decomposition nodes of
+// the estimated cardinality of each node's materialised table (the AGM
+// bound Π_{R∈λ} |R|^w, tightened by the per-column distinct counts). It is
+// the quantity cost-based compilation minimises among same-width plans. 0
+// means no cost model: the plan was compiled without WithStats/
+// WithCostModel, or its strategy uses no decomposition.
+func (p *Plan) EstimatedCost() float64 { return p.estCost }
+
+// PlanStats returns the statistics snapshot the plan was compiled with, or
+// nil when compilation was width-only.
+func (p *Plan) PlanStats() *Stats { return p.stats }
+
+// Explain renders the plan's per-node cost/width report: for every
+// decomposition node its χ and λ labels (with fractional weights where
+// present), the node width, and — when the plan was compiled with
+// statistics — the relation cardinalities joined and the estimated
+// cardinality of the node table. The header line summarises the plan, the
+// ranking mode (cost-based or width-only) and the total estimated cost.
+// Reading the report answers the planner questions: which relations landed
+// in λ, what each node is expected to materialise, and why this plan beat
+// its same-width rivals.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	b.WriteString(p.String())
+	switch {
+	case p.dec == nil:
+		fmt.Fprintf(&b, "\n  no decomposition: the %s strategy plans no λ-joins", strategyName(p.strategy))
+		if p.strategy == StrategyAcyclic {
+			b.WriteString(" (Yannakakis evaluates the join tree directly)")
+		}
+		b.WriteString("\n")
+		return b.String()
+	case p.stats == nil:
+		b.WriteString("\n  ranking: width-only (no statistics; compile with WithStats/WithCostModel for cost-based plans)\n")
+	default:
+		fmt.Fprintf(&b, "\n  ranking: cost-based, estimated total cost %.4g\n  %s\n", p.estCost, p.stats)
+	}
+	var visit func(n *DecompositionNode, depth int)
+	visit = func(n *DecompositionNode, depth int) {
+		indent := strings.Repeat("  ", depth+1)
+		fmt.Fprintf(&b, "%sχ={%s} λ={%s} width=%d",
+			indent,
+			strings.Join(p.dec.H.VertexNames(n.Chi), ","),
+			strings.Join(p.lambdaLabels(n), ","),
+			n.Lambda.Len())
+		if n.Weights != nil {
+			total := 0.0
+			for _, w := range n.Weights {
+				total += w
+			}
+			fmt.Fprintf(&b, " fw=%.4g", total)
+		}
+		if p.stats != nil {
+			fmt.Fprintf(&b, " est=%.4g", n.EstRows)
+		}
+		b.WriteString("\n")
+		for _, c := range n.Children {
+			visit(c, depth+1)
+		}
+	}
+	if p.dec.Root != nil {
+		visit(p.dec.Root, 0)
+	}
+	return b.String()
+}
+
+// lambdaLabels renders a node's λ edges, each annotated with its fractional
+// weight (when present) and its estimated cardinality (when statistics are
+// attached), in ascending edge order.
+func (p *Plan) lambdaLabels(n *DecompositionNode) []string {
+	elems := n.Lambda.Elems() // ascending by construction
+	labels := make([]string, 0, len(elems))
+	for _, e := range elems {
+		l := p.dec.H.EdgeName(e)
+		if n.Weights != nil {
+			if w, ok := n.Weights[e]; ok {
+				l += fmt.Sprintf("·%.3g", w)
+			}
+		}
+		if e < len(p.edgeRows) {
+			l += fmt.Sprintf("[%.4g rows]", p.edgeRows[e])
+		}
+		labels = append(labels, l)
+	}
+	return labels
+}

@@ -1,0 +1,66 @@
+package decomp
+
+import "math"
+
+// This file is the cost model of the planner: the AGM-style estimate that
+// ranks decompositions of equal width by the database they will actually
+// run against. Lemma 4.6 materialises each node p as the χ-projection of
+// the join of the relations in λ(p); by the AGM bound that table holds at
+// most Π_{R∈λ(p)} |R|^{w(R)} tuples for any fractional edge cover w of
+// χ(p), so the product — with w ≡ 1 on integral decompositions and the
+// node's LP weights on fractional ones — is both an upper bound on the
+// node's materialised cardinality and the cost the planner charges it.
+// EdgeRows slices are indexed by hypergraph edge id and are derived from an
+// internal/stats snapshot by the compile pipeline; a nil slice (no
+// statistics) makes every node cost 1, collapsing cost ranking back to
+// width ranking.
+
+// NodeCost returns the AGM-style cost estimate Π_{e∈λ} max(rows[e], 1)^w(e)
+// of materialising node n against a database with the given per-edge
+// cardinalities. The exponent w(e) is the node's fractional λ weight when
+// Weights is set and 1 otherwise. Cardinalities are clamped to ≥ 1 so that
+// an empty or unknown relation cannot zero out the product and erase the
+// contribution of the other λ edges; nil or short rows count missing edges
+// at 1.
+func NodeCost(n *Node, edgeRows []float64) float64 {
+	cost := 1.0
+	n.Lambda.ForEach(func(e int) {
+		r := 1.0
+		if e < len(edgeRows) && edgeRows[e] > 1 {
+			r = edgeRows[e]
+		}
+		w := 1.0
+		if n.Weights != nil {
+			w = n.Weights[e]
+		}
+		cost *= math.Pow(r, w)
+	})
+	return cost
+}
+
+// CostWith returns the total estimated cost of evaluating the
+// decomposition: the sum of NodeCost over all nodes. This is the quantity
+// the adaptive race minimises and the heuristic engines use to break width
+// ties — the per-node materialisations dominate evaluation (the semijoin
+// passes are linear in the node tables), so their summed AGM bounds track
+// wall-clock well enough to rank same-width plans.
+func (d *Decomposition) CostWith(edgeRows []float64) float64 {
+	total := 0.0
+	for _, n := range d.Nodes() {
+		total += NodeCost(n, edgeRows)
+	}
+	return total
+}
+
+// AnnotateCosts stamps every node's EstRows with its NodeCost under the
+// given per-edge cardinalities, so downstream layers (evaluation ordering,
+// Plan.Explain) read the estimates off the tree instead of recomputing
+// them. It returns the total cost (the CostWith sum).
+func (d *Decomposition) AnnotateCosts(edgeRows []float64) float64 {
+	total := 0.0
+	for _, n := range d.Nodes() {
+		n.EstRows = NodeCost(n, edgeRows)
+		total += n.EstRows
+	}
+	return total
+}

@@ -1,0 +1,62 @@
+package decomp
+
+import (
+	"math"
+	"testing"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/hypergraph"
+)
+
+func costHypergraph() *hypergraph.Hypergraph {
+	h := hypergraph.New()
+	h.AddEdge("big", "X", "Y")
+	h.AddEdge("mid", "Y", "Z")
+	h.AddEdge("small", "Z", "X")
+	return h
+}
+
+func TestNodeCostIntegralAndFractional(t *testing.T) {
+	rows := []float64{1000, 100, 10}
+	n := &Node{Chi: bitset.Of(0, 1, 2), Lambda: bitset.Of(0, 1)}
+	if got := NodeCost(n, rows); got != 1000*100 {
+		t.Errorf("integral NodeCost = %g, want 1e5", got)
+	}
+	// fractional weights exponentiate: the AGM reading
+	n.Weights = map[int]float64{0: 0.5, 1: 0.5}
+	want := math.Sqrt(1000) * math.Sqrt(100)
+	if got := NodeCost(n, rows); math.Abs(got-want) > 1e-9 {
+		t.Errorf("fractional NodeCost = %g, want %g", got, want)
+	}
+	// nil rows: every relation counts 1, cost collapses to 1
+	if got := NodeCost(n, nil); got != 1 {
+		t.Errorf("NodeCost without stats = %g, want 1", got)
+	}
+	// zero-row relations clamp to 1 instead of erasing the product
+	n2 := &Node{Lambda: bitset.Of(0, 2)}
+	if got := NodeCost(n2, []float64{0, 5, 7}); got != 7 {
+		t.Errorf("clamped NodeCost = %g, want 7", got)
+	}
+}
+
+func TestCostWithAndAnnotate(t *testing.T) {
+	h := costHypergraph()
+	child := &Node{Chi: bitset.Of(0, 2), Lambda: bitset.Of(2)}
+	root := &Node{Chi: bitset.Of(0, 1, 2), Lambda: bitset.Of(0, 1), Children: []*Node{child}}
+	d := &Decomposition{H: h, Root: root}
+	rows := []float64{1000, 100, 10}
+	if got := d.CostWith(rows); got != 1000*100+10 {
+		t.Errorf("CostWith = %g", got)
+	}
+	if total := d.AnnotateCosts(rows); total != 1000*100+10 {
+		t.Errorf("AnnotateCosts total = %g", total)
+	}
+	if root.EstRows != 1000*100 || child.EstRows != 10 {
+		t.Errorf("EstRows = %g / %g", root.EstRows, child.EstRows)
+	}
+	// clones keep the annotation
+	c := d.Complete()
+	if c.Root.EstRows != root.EstRows {
+		t.Errorf("Complete dropped EstRows: %g", c.Root.EstRows)
+	}
+}

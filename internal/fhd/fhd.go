@@ -155,7 +155,10 @@ func WidthOf(ctx context.Context, d *decomp.Decomposition) (float64, error) {
 // means "no shape reached the bound", not a proof about fhw(H).
 // stepBudget > 0 bounds elimination decisions plus simplex pivots across
 // all shapes; when it runs out the best complete shape found so far is
-// returned, or decomp.ErrStepBudget if none finished.
+// returned, or decomp.ErrStepBudget if none finished. opts.EdgeRows, when
+// set, breaks fractional-width ties between shapes toward the lower total
+// estimated cost (and steers nothing else — the width contract is
+// unchanged).
 func Decompose(ctx context.Context, h *hypergraph.Hypergraph, opts ghd.Options, maxWidth, stepBudget int) (*decomp.Decomposition, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -166,6 +169,7 @@ func Decompose(ctx context.Context, h *hypergraph.Hypergraph, opts ghd.Options, 
 	budget := ghd.NewBudget(stepBudget)
 	var best *decomp.Decomposition
 	bestFW := math.Inf(1)
+	bestCost := math.Inf(1)
 	err := ghd.ForEachShape(ctx, h, opts, budget, func(d *decomp.Decomposition) error {
 		fw := 0.0
 		for _, n := range d.Nodes() {
@@ -183,9 +187,19 @@ func Decompose(ctx context.Context, h *hypergraph.Hypergraph, opts ghd.Options, 
 				fw = v
 			}
 		}
-		if fw < bestFW-decomp.FracEps {
-			best, bestFW = d, fw
-			if maxWidth > 0 && fw <= float64(maxWidth)+decomp.FracEps {
+		// Shapes compete on fractional width; with statistics, ties within
+		// FracEps break to the lower total estimated cost (decomp.CostWith
+		// under the covers' fractional weights) — equal-fhw shapes can place
+		// wildly different relations in their λ supports.
+		cost := math.Inf(1)
+		if opts.EdgeRows != nil {
+			cost = d.CostWith(opts.EdgeRows)
+		}
+		better := fw < bestFW-decomp.FracEps ||
+			(opts.EdgeRows != nil && fw < bestFW+decomp.FracEps && cost < bestCost)
+		if better {
+			best, bestFW, bestCost = d, fw, cost
+			if maxWidth > 0 && fw <= float64(maxWidth)+decomp.FracEps && opts.EdgeRows == nil {
 				return errShapeFound // satisfying width: stop improving
 			}
 		}

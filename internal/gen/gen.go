@@ -264,6 +264,62 @@ func SkewedDatabase(rng *rand.Rand, q *cq.Query, rows, domain int, alpha float64
 	return db
 }
 
+// CostSeparationQuery returns the workload of the cost-vs-width experiment
+// (hdbench E25): a 4-cycle big—c2—c3—c4 with a second, parallel edge small
+// over the same variables as big. Every width measure ties at 2 (the
+// 4-cycle needs two edges per bag and fractional covers cannot beat 2 on
+// C4), so width-only ranking cannot tell the decompositions apart — but a
+// bag over {X1,X2} may be covered by either big or small, and on a
+// SkewedSizeDatabase (where big dwarfs small) the same-width λ placements
+// differ by orders of magnitude in evaluation cost.
+func CostSeparationQuery() *cq.Query {
+	return cq.MustParse(`ans(X1, X3) :- big(X1,X2), c2(X2,X3), c3(X3,X4), c4(X4,X1), small(X1,X2).`)
+}
+
+// SkewedSizeDatabase fills the query's relations with zipf-ishly skewed
+// *cardinalities*: the i-th distinct predicate (in atom order) receives
+// maxRows/(i+1)^alpha random tuples (at least 1) over the given domain, so
+// the first relation is the giant and the tail shrinks polynomially. This
+// is the regime cost-based planning exists for — RandomDatabase and
+// SkewedDatabase give every relation the same row count r, making all
+// same-width λ placements cost-equal, whereas here two decompositions of
+// identical width can differ by orders of magnitude in Π_{R∈λ} |R|
+// depending on whether the giant lands in a λ label. Constants are interned
+// up front and tuples inserted as raw values (the LargeRandomDatabase
+// fast path), so multi-hundred-thousand-row giants build quickly.
+func SkewedSizeDatabase(rng *rand.Rand, q *cq.Query, maxRows, domain int, alpha float64) *relation.Database {
+	db := relation.NewDatabase()
+	vals := make([]relation.Value, domain)
+	for i := range vals {
+		vals[i] = db.Intern(fmt.Sprintf("d%d", i))
+	}
+	seen := map[string]bool{}
+	i := 0
+	for _, a := range q.Atoms {
+		if seen[a.Pred] {
+			continue
+		}
+		seen[a.Pred] = true
+		rows := int(float64(maxRows) / math.Pow(float64(i+1), alpha))
+		if rows < 1 {
+			rows = 1
+		}
+		i++
+		r, err := db.AddRelation(a.Pred, len(a.Args))
+		if err != nil {
+			panic(err) // distinct predicates cannot collide on arity here
+		}
+		tuple := make([]relation.Value, len(a.Args))
+		for j := 0; j < rows; j++ {
+			for k := range tuple {
+				tuple[k] = vals[rng.Intn(domain)]
+			}
+			r.Add(tuple...)
+		}
+	}
+	return db
+}
+
 // UniversityDatabase returns an Example 1.1 instance with n students; when
 // withWitness is true, one professor teaches a course their own child is
 // enrolled in, making Q1 true.

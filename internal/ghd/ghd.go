@@ -87,6 +87,16 @@ type Options struct {
 	// Seed drives the randomized tie-breaking; 0 means seed 1 so results are
 	// reproducible by default.
 	Seed int64
+	// EdgeRows, when non-nil, holds per-hyperedge cardinality estimates
+	// (indexed by edge id, derived from an internal/stats snapshot) and
+	// switches the engine cost-aware: GreedyCover breaks coverage ties
+	// toward cheaper relations, and ties between equal-width trials go to
+	// the decomposition of lower total estimated cost (decomp.CostWith)
+	// instead of the lower trial index. Statistics never change the width
+	// contract — only which same-width decomposition wins. EdgeRows does
+	// not participate in decomposer names; plan caches key statistics by
+	// their fingerprint instead.
+	EdgeRows []float64
 }
 
 func (o Options) orderings() []Ordering {
@@ -121,8 +131,10 @@ func (o Options) seed() int64 {
 // decomposition found so far is returned, or ErrStepBudget if no trial
 // completed. workers > 1 runs trials concurrently; each trial is seeded
 // independently and ties between equal-width trials go to the lowest trial
-// index, so without a step budget or width bound the result is identical to
-// the sequential one. With stepBudget or maxWidth set, both loops stop
+// index — or, when opts.EdgeRows supplies cardinality estimates, to the
+// trial of lowest total estimated cost (a width bound then no longer cuts
+// the loop short: remaining trials still compete on cost) — so without a
+// step budget or width bound the result is identical to the sequential one. With stepBudget or maxWidth set, both loops stop
 // early, and which trials complete before the cut-off may differ between
 // sequential and parallel execution (and, under a budget, between runs) —
 // the returned decomposition always satisfies the same contract, but its
@@ -144,7 +156,7 @@ func Decompose(ctx context.Context, h *hypergraph.Hypergraph, opts Options, maxW
 	}
 	if workers <= 1 {
 		for i, tr := range trials {
-			d, err := runTrial(ctx, h, g, tr, budget)
+			d, err := runTrial(ctx, h, g, tr, opts.EdgeRows, budget)
 			if err != nil {
 				if err == decomp.ErrStepBudget {
 					break // keep what earlier trials produced
@@ -152,17 +164,17 @@ func Decompose(ctx context.Context, h *hypergraph.Hypergraph, opts Options, maxW
 				return nil, err
 			}
 			results[i] = d
-			if maxWidth > 0 && d.Width() <= maxWidth {
+			if maxWidth > 0 && d.Width() <= maxWidth && opts.EdgeRows == nil {
 				break // a satisfying decomposition: no need to improve further
 			}
 		}
 	} else {
-		if err := runParallel(ctx, h, g, trials, budget, results, workers, maxWidth); err != nil {
+		if err := runParallel(ctx, h, g, trials, budget, results, workers, maxWidth, opts.EdgeRows); err != nil {
 			return nil, err
 		}
 	}
 
-	best := pickBest(results)
+	best := pickBest(results, opts.EdgeRows)
 	if best == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -192,7 +204,7 @@ func ForEachShape(ctx context.Context, h *hypergraph.Hypergraph, opts Options, b
 	}
 	g := h.PrimalGraph()
 	for _, tr := range trialPlan(opts) {
-		d, err := runTrial(ctx, h, g, tr, budget)
+		d, err := runTrial(ctx, h, g, tr, opts.EdgeRows, budget)
 		if err != nil {
 			return err
 		}
@@ -224,7 +236,7 @@ func trialPlan(opts Options) []trial {
 	return trials
 }
 
-func runTrial(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, tr trial, budget *Budget) (*decomp.Decomposition, error) {
+func runTrial(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, tr trial, edgeRows []float64, budget *Budget) (*decomp.Decomposition, error) {
 	var rng *rand.Rand
 	if tr.randomized {
 		rng = rand.New(rand.NewSource(tr.seed))
@@ -234,14 +246,14 @@ func runTrial(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, tr 
 		return nil, err
 	}
 	td, _ := treewidth.FromEliminationOrder(g, order)
-	return FromTreeDecomposition(h, td), nil
+	return FromTreeDecompositionCost(h, td, edgeRows), nil
 }
 
 // runParallel distributes trials over workers. Results land in their trial
 // slot so pickBest is deterministic given the set of completed trials; a
 // satisfied maxWidth or an exhausted budget stops further trials from being
 // handed out (in-flight ones finish and still count).
-func runParallel(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, trials []trial, budget *Budget, results []*decomp.Decomposition, workers, maxWidth int) error {
+func runParallel(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, trials []trial, budget *Budget, results []*decomp.Decomposition, workers, maxWidth int, edgeRows []float64) error {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -261,7 +273,7 @@ func runParallel(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, 
 				if abort || i >= len(trials) {
 					return
 				}
-				d, err := runTrial(ctx, h, g, trials[i], budget)
+				d, err := runTrial(ctx, h, g, trials[i], edgeRows, budget)
 				mu.Lock()
 				switch {
 				case err == decomp.ErrStepBudget:
@@ -272,8 +284,10 @@ func runParallel(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, 
 					}
 				default:
 					results[i] = d
-					if maxWidth > 0 && d.Width() <= maxWidth {
-						next = len(trials) // satisfying width: stop improving
+					if maxWidth > 0 && d.Width() <= maxWidth && edgeRows == nil {
+						// satisfying width: stop improving (with statistics the
+						// remaining trials still compete on cost, so run them)
+						next = len(trials)
 					}
 				}
 				mu.Unlock()
@@ -284,15 +298,26 @@ func runParallel(ctx context.Context, h *hypergraph.Hypergraph, g *graph.Graph, 
 	return firstErr
 }
 
-func pickBest(results []*decomp.Decomposition) *decomp.Decomposition {
+// pickBest keeps the smallest-width result; with statistics (edgeRows
+// non-nil) ties between equal-width results break to the lower total
+// estimated cost, and only then to the lower trial index — same-width
+// decompositions can differ enormously in evaluation cost depending on
+// which relations their λ labels joined.
+func pickBest(results []*decomp.Decomposition, edgeRows []float64) *decomp.Decomposition {
 	var best *decomp.Decomposition
 	bestW := 0
+	bestCost := 0.0
 	for _, d := range results {
 		if d == nil {
 			continue
 		}
-		if w := d.Width(); best == nil || w < bestW {
-			best, bestW = d, w
+		w := d.Width()
+		cost := 0.0
+		if edgeRows != nil {
+			cost = d.CostWith(edgeRows)
+		}
+		if best == nil || w < bestW || (w == bestW && edgeRows != nil && cost < bestCost) {
+			best, bestW, bestCost = d, w, cost
 		}
 	}
 	return best
@@ -452,13 +477,22 @@ func pickMin(n int, eligible []bool, score func(int) int, rng *rand.Rand) int {
 // and thus inside some bag (condition 1), bag connectedness carries over
 // (condition 2), and the cover guarantees χ ⊆ var(λ) (condition 3).
 func FromTreeDecomposition(h *hypergraph.Hypergraph, td *treewidth.Decomposition) *decomp.Decomposition {
+	return FromTreeDecompositionCost(h, td, nil)
+}
+
+// FromTreeDecompositionCost is FromTreeDecomposition with per-edge
+// cardinality estimates steering the greedy covers: coverage ties break
+// toward the cheaper relation (GreedyCoverCost), so among the many λ labels
+// of the same size the one joining the smallest relations wins. edgeRows
+// nil reproduces FromTreeDecomposition exactly.
+func FromTreeDecompositionCost(h *hypergraph.Hypergraph, td *treewidth.Decomposition, edgeRows []float64) *decomp.Decomposition {
 	bags, parent, root := pruneBags(td)
 	if len(bags) == 0 {
 		return &decomp.Decomposition{H: h}
 	}
 	nodes := make([]*decomp.Node, len(bags))
 	for i, bag := range bags {
-		nodes[i] = &decomp.Node{Chi: bag, Lambda: GreedyCover(h, bag)}
+		nodes[i] = &decomp.Node{Chi: bag, Lambda: GreedyCoverCost(h, bag, edgeRows)}
 	}
 	for i, p := range parent {
 		if p >= 0 {
@@ -547,6 +581,49 @@ func pruneBags(td *treewidth.Decomposition) (bags []bitset.Set, parent []int, ro
 // lies in at least one hyperedge, so the cover always completes; the greedy
 // choice is within a ln(|bag|)+1 factor of the optimal cover.
 func GreedyCover(h *hypergraph.Hypergraph, bag bitset.Set) bitset.Set {
+	return GreedyCoverCost(h, bag, nil)
+}
+
+// GreedyCoverCost is GreedyCover with cardinality-aware tie-breaking: among
+// edges covering equally many uncovered bag vertices the greedy pass
+// prefers the one backed by the fewest tuples (then the lowest index), so
+// the node's λ-join touches the smallest relations the cover structure
+// allows. Because a cheap early pick can occasionally force a *larger*
+// cover later (greedy set cover is not exchange-stable), the cost-aware
+// cover is compared against the width-only GreedyCover and the smaller one
+// wins — ties by size go to the lower Π rows — so the cover size, and hence
+// the width, never exceeds the statistics-free result. edgeRows nil (or
+// short) scores every edge equally, reproducing GreedyCover exactly.
+func GreedyCoverCost(h *hypergraph.Hypergraph, bag bitset.Set, edgeRows []float64) bitset.Set {
+	plain := greedyCover(h, bag, nil)
+	if edgeRows == nil {
+		return plain
+	}
+	costed := greedyCover(h, bag, edgeRows)
+	cost := func(lambda bitset.Set) float64 {
+		return decomp.NodeCost(&decomp.Node{Lambda: lambda}, edgeRows)
+	}
+	switch {
+	case costed.Len() < plain.Len():
+		return costed
+	case costed.Len() > plain.Len():
+		return plain
+	case cost(costed) <= cost(plain):
+		return costed
+	default:
+		return plain
+	}
+}
+
+// greedyCover runs the greedy set-cover pass; edgeRows non-nil switches the
+// coverage tie-break from lowest index to fewest rows (then lowest index).
+func greedyCover(h *hypergraph.Hypergraph, bag bitset.Set, edgeRows []float64) bitset.Set {
+	rowsOf := func(e int) float64 {
+		if e < len(edgeRows) && edgeRows[e] > 1 {
+			return edgeRows[e]
+		}
+		return 1
+	}
 	// candidate edges: all edges meeting the bag, deduplicated
 	var candSet bitset.Set
 	bag.ForEach(func(v int) {
@@ -558,13 +635,18 @@ func GreedyCover(h *hypergraph.Hypergraph, bag bitset.Set) bitset.Set {
 	uncovered := bag.Clone()
 	var lambda bitset.Set
 	for !uncovered.Empty() {
-		best, bestCov := -1, 0
+		best, bestCov, bestRows := -1, 0, 0.0
 		for _, e := range cands {
 			if lambda.Has(e) {
 				continue
 			}
-			if cov := h.Edge(e).Intersect(uncovered).Len(); cov > bestCov {
-				best, bestCov = e, cov
+			cov := h.Edge(e).Intersect(uncovered).Len()
+			if cov == 0 {
+				continue
+			}
+			rows := rowsOf(e)
+			if cov > bestCov || (cov == bestCov && edgeRows != nil && rows < bestRows) {
+				best, bestCov, bestRows = e, cov, rows
 			}
 		}
 		if best < 0 {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"hypertree/internal/bitset"
 	"hypertree/internal/decomp"
 	"hypertree/internal/gen"
 	"hypertree/internal/hypergraph"
@@ -226,4 +227,85 @@ func TestGreedyLargeCSPFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("50-atom CSP: greedy width %d, %d nodes", d.Width(), d.NumNodes())
+}
+
+// GreedyCoverCost must break equal-coverage ties toward the relation with
+// the fewest tuples: on a bag coverable by either of two parallel edges,
+// the giant loses exactly when statistics are present.
+func TestGreedyCoverCostPrefersCheapEdges(t *testing.T) {
+	h := hypergraph.New()
+	big := h.AddEdge("big", "X", "Y")
+	mid := h.AddEdge("mid", "Y", "Z")
+	small := h.AddEdge("small", "X", "Y")
+	bag := h.Edge(big).Union(h.Edge(mid))
+
+	plain := GreedyCover(h, bag)
+	if !plain.Has(big) || plain.Has(small) {
+		t.Fatalf("width-only cover should keep the lowest index: %v", plain)
+	}
+	rows := make([]float64, h.NumEdges())
+	rows[big], rows[mid], rows[small] = 100000, 50, 10
+	costed := GreedyCoverCost(h, bag, rows)
+	if costed.Has(big) || !costed.Has(small) || !costed.Has(mid) {
+		t.Fatalf("cost-aware cover kept the giant: %v", costed)
+	}
+	if costed.Len() != plain.Len() {
+		t.Fatalf("cost awareness changed the cover size: %d vs %d", costed.Len(), plain.Len())
+	}
+}
+
+// With EdgeRows, Decompose must keep its width contract while landing on a
+// cheaper decomposition than the width-only run, sequentially and in
+// parallel.
+func TestDecomposeCostTieBreak(t *testing.T) {
+	h := hypergraph.New()
+	h.AddEdge("big", "X1", "X2")
+	h.AddEdge("c2", "X2", "X3")
+	h.AddEdge("c3", "X3", "X4")
+	h.AddEdge("c4", "X4", "X1")
+	h.AddEdge("small", "X1", "X2")
+	rows := []float64{100000, 1000, 100, 50, 10}
+
+	ctx := context.Background()
+	plain, err := Decompose(ctx, h, Options{}, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		costed, err := Decompose(ctx, h, Options{EdgeRows: rows}, 0, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if costed.Width() != plain.Width() {
+			t.Fatalf("workers=%d: statistics changed the width: %d vs %d", workers, costed.Width(), plain.Width())
+		}
+		if err := costed.ValidateGHD(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if cc, pc := costed.CostWith(rows), plain.CostWith(rows); cc > pc {
+			t.Fatalf("workers=%d: cost-aware decomposition costs %g > width-only %g", workers, cc, pc)
+		}
+	}
+}
+
+// The cheap-edge tie-break must never grow the cover: on this bag the
+// cost-greedy first pick (the cheap diagonal edge) would force a 3-edge
+// cover where width-only greedy finds 2 — GreedyCoverCost has to detect
+// that and keep the smaller cover, so statistics cannot inflate the width.
+func TestGreedyCoverCostNeverGrowsCover(t *testing.T) {
+	h := hypergraph.New()
+	h.AddEdge("e1", "a", "b")
+	h.AddEdge("e2", "c", "d")
+	h.AddEdge("e3", "a", "c")
+	bag := bitset.FromSlice([]int{0, 1, 2, 3})
+	rows := []float64{1000, 1000, 2}
+
+	plain := GreedyCover(h, bag)
+	costed := GreedyCoverCost(h, bag, rows)
+	if costed.Len() > plain.Len() {
+		t.Fatalf("statistics grew the cover: %d edges vs %d", costed.Len(), plain.Len())
+	}
+	if costed.Len() != 2 {
+		t.Fatalf("cover size %d, want 2", costed.Len())
+	}
 }

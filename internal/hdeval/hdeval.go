@@ -15,6 +15,7 @@ package hdeval
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"hypertree/internal/cq"
@@ -35,12 +36,28 @@ type Evaluator struct {
 	edgeToAtom []int
 	head       []int
 	chiElems   map[*decomp.Node][]int
+	edgeRows   []float64              // per-edge cardinality estimates (nil: no statistics)
+	lamOrder   map[*decomp.Node][]int // λ edges in evaluation order (ascending estimate)
 }
 
 // NewEvaluator analyses q and completes hd once, returning the reusable
 // evaluation skeleton. The head variables are validated here, so execution
 // can no longer fail on an unsafe head.
 func NewEvaluator(q *cq.Query, hd *decomp.Decomposition) (*Evaluator, error) {
+	return NewEvaluatorStats(q, hd, nil)
+}
+
+// NewEvaluatorStats is NewEvaluator with per-edge cardinality estimates
+// steering the evaluation order. When edgeRows is non-nil, each node's
+// λ-join runs in ascending order of estimated relation cardinality (small
+// relations first keep the left-deep intermediates small) and every node's
+// children are reordered by ascending estimated node cardinality, so the
+// bottom-up semijoin passes shrink each table against its most selective
+// child first. Both reorderings are answer-neutral — joins and the
+// semijoin reductions commute — so an Evaluator with statistics returns
+// exactly the tables of one without; only the work to produce them
+// changes. edgeRows nil preserves the historical input order bit for bit.
+func NewEvaluatorStats(q *cq.Query, hd *decomp.Decomposition, edgeRows []float64) (*Evaluator, error) {
 	if hd == nil || hd.H == nil || (hd.Root == nil && hd.H.NumEdges() > 0) {
 		return nil, fmt.Errorf("hdeval: nil decomposition")
 	}
@@ -56,11 +73,48 @@ func NewEvaluator(q *cq.Query, hd *decomp.Decomposition) (*Evaluator, error) {
 		edgeToAtom: edgeToAtom,
 		head:       head,
 		chiElems:   map[*decomp.Node][]int{},
+		edgeRows:   edgeRows,
+		lamOrder:   map[*decomp.Node][]int{},
+	}
+	if edgeRows != nil {
+		// The completion may have added fresh ⟨χ=var(e), λ={e}⟩ nodes with no
+		// estimate yet; annotate only those, preserving any refined EstRows
+		// the compile pipeline stamped on the original nodes — child ordering
+		// must read the same numbers Explain reports.
+		for _, n := range complete.Nodes() {
+			if n.EstRows == 0 {
+				n.EstRows = decomp.NodeCost(n, edgeRows)
+			}
+		}
 	}
 	for _, n := range complete.Nodes() {
 		e.chiElems[n] = n.Chi.Elems()
+		e.lamOrder[n] = e.orderLambda(n)
+		if edgeRows != nil {
+			sort.SliceStable(n.Children, func(i, j int) bool {
+				return n.Children[i].EstRows < n.Children[j].EstRows
+			})
+		}
 	}
 	return e, nil
+}
+
+// orderLambda returns n's λ edges in evaluation order: ascending estimated
+// cardinality (ties to the lower edge id) under statistics, ascending edge
+// id without.
+func (e *Evaluator) orderLambda(n *decomp.Node) []int {
+	elems := n.Lambda.Elems()
+	if e.edgeRows == nil {
+		return elems
+	}
+	rows := func(i int) float64 {
+		if elems[i] < len(e.edgeRows) {
+			return e.edgeRows[elems[i]]
+		}
+		return 1
+	}
+	sort.SliceStable(elems, func(i, j int) bool { return rows(i) < rows(j) })
+	return elems
 }
 
 // Head returns the validated head variables of the query.
@@ -152,27 +206,21 @@ func (b *rootBuilder) bind(e2 int) (*relation.Table, error) {
 	return t, nil
 }
 
-// materialize joins the λ relations of n and projects to χ.
+// materialize joins the λ relations of n — in the evaluator's precomputed
+// order, i.e. ascending estimated cardinality when statistics are attached
+// — and projects to χ.
 func (b *rootBuilder) materialize(n *decomp.Node) (*relation.Table, error) {
 	var joined *relation.Table
-	var err error
-	n.Lambda.ForEach(func(e2 int) {
+	for _, e2 := range b.e.lamOrder[n] {
+		t, err := b.bind(e2)
 		if err != nil {
-			return
-		}
-		var t *relation.Table
-		t, err = b.bind(e2)
-		if err != nil {
-			return
+			return nil, err
 		}
 		if joined == nil {
 			joined = t
 		} else {
 			joined = joined.Join(t)
 		}
-	})
-	if err != nil {
-		return nil, err
 	}
 	if joined == nil {
 		return nil, fmt.Errorf("hdeval: decomposition node with empty λ")

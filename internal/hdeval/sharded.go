@@ -109,7 +109,11 @@ func (b *shardedBuilder) build(n *decomp.Node) (*yannakakis.Node, error) {
 // materializeSharded computes the χ-projection of node n's λ-join by
 // scatter-gather over the shards.
 func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, error) {
-	lam := n.Lambda.Elems()
+	// λ in the evaluator's order: ascending estimated cardinality when the
+	// plan carries statistics, input order otherwise — so the broadcast-side
+	// JoinIndex chain probes the most selective relations first, exactly as
+	// the single-database path joins them.
+	lam := b.e.lamOrder[n]
 	if len(lam) == 0 {
 		return nil, fmt.Errorf("hdeval: decomposition node with empty λ")
 	}

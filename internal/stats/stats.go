@@ -1,0 +1,200 @@
+// Package stats collects the database statistics behind cost-based
+// planning: per-relation cardinalities and per-column distinct counts,
+// gathered by an exact scan (Collect) or a cheap bounded-sample scan
+// (CollectSampled). The paper's tractability bound O(r^w) treats every
+// relation as the same size r; real databases are skewed, and among
+// decompositions of equal width the achievable evaluation cost varies with
+// which relations land in the λ labels (Greco & Scarcello, "Greedy
+// Strategies and Larger Islands of Tractability"). A Stats snapshot is what
+// turns the width engines into a cost-based planner: the compile pipeline
+// derives per-edge cardinalities from it, the heuristic engines break width
+// ties toward cheaper λ placements, the auto race ranks entrants by the
+// AGM-style estimate Cost(node) = Π_{R∈λ} |R|^weight, and the evaluator
+// orders its joins by ascending estimated cardinality.
+//
+// A Stats value is immutable after collection and safe for concurrent use.
+// It is a snapshot: statistics do not track later database mutations, and a
+// plan compiled against stale statistics is still answer-correct — only its
+// cost ranking degrades.
+package stats
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"hypertree/internal/relation"
+)
+
+// DefaultSampleRows is the per-relation scan bound CollectSampled uses when
+// the caller passes a non-positive sample size: large enough to estimate
+// distinct counts usefully, small enough that collection stays O(1)-ish per
+// relation regardless of database scale.
+const DefaultSampleRows = 1024
+
+// Relation is the collected statistics of one database relation.
+type Relation struct {
+	// Name is the relation (predicate) name.
+	Name string
+	// Rows is the exact tuple count (Rows() is O(1) even under sampling).
+	Rows int
+	// Distinct estimates the number of distinct values per column. Under
+	// Collect the counts are exact; under CollectSampled they are scaled
+	// from the sample and capped at Rows.
+	Distinct []int
+	// Sampled reports whether Distinct was estimated from a bounded sample
+	// rather than a full scan.
+	Sampled bool
+}
+
+// Stats is an immutable snapshot of per-relation statistics.
+type Stats struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// Collect scans every relation of db fully and returns exact statistics.
+func Collect(db *relation.Database) *Stats {
+	return collect(db, 0)
+}
+
+// CollectSampled returns statistics from a bounded scan: tuple counts are
+// exact (O(1) per relation), distinct counts are estimated from the first
+// sample rows of each relation, linearly scaled up and capped at the row
+// count. sample ≤ 0 selects DefaultSampleRows. The estimate is crude by
+// design — cost-based planning needs the order of magnitude, and a bounded
+// scan keeps WithStats affordable on multi-million-tuple databases.
+func CollectSampled(db *relation.Database, sample int) *Stats {
+	if sample <= 0 {
+		sample = DefaultSampleRows
+	}
+	return collect(db, sample)
+}
+
+// collect gathers statistics; sample 0 means a full scan.
+func collect(db *relation.Database, sample int) *Stats {
+	s := &Stats{rels: map[string]*Relation{}}
+	for _, name := range db.RelationNames() {
+		r := db.Relation(name)
+		rows := r.Rows()
+		scan := rows
+		sampled := false
+		if sample > 0 && scan > sample {
+			scan, sampled = sample, true
+		}
+		distinct := make([]int, r.Arity)
+		if r.Arity > 0 && scan > 0 {
+			seen := make([]map[relation.Value]struct{}, r.Arity)
+			for c := range seen {
+				seen[c] = map[relation.Value]struct{}{}
+			}
+			for i := 0; i < scan; i++ {
+				for c, v := range r.Row(i) {
+					seen[c][v] = struct{}{}
+				}
+			}
+			for c := range distinct {
+				d := len(seen[c])
+				if sampled {
+					// linear scale-up: d/scan of the sample was distinct, so
+					// assume the same density over the full relation
+					d = d * rows / scan
+				}
+				if d > rows {
+					d = rows
+				}
+				if d < 1 {
+					d = 1
+				}
+				distinct[c] = d
+			}
+		}
+		s.rels[name] = &Relation{Name: name, Rows: rows, Distinct: distinct, Sampled: sampled}
+		s.order = append(s.order, name)
+	}
+	return s
+}
+
+// Relation returns the statistics of the named relation, or nil when the
+// database held no such relation at collection time.
+func (s *Stats) Relation(name string) *Relation {
+	if s == nil {
+		return nil
+	}
+	return s.rels[name]
+}
+
+// RelationNames returns the relation names in collection order.
+func (s *Stats) RelationNames() []string {
+	if s == nil {
+		return nil
+	}
+	return s.order
+}
+
+// Rows returns the collected cardinality of the named relation. Unknown
+// relations report 0 — an atom over an absent relation binds to the empty
+// table, so 0 is the honest estimate.
+func (s *Stats) Rows(name string) int {
+	if r := s.Relation(name); r != nil {
+		return r.Rows
+	}
+	return 0
+}
+
+// Distinct returns the (estimated) distinct-value count of column col of
+// the named relation, or 0 when the relation or column is unknown.
+func (s *Stats) Distinct(name string, col int) int {
+	r := s.Relation(name)
+	if r == nil || col < 0 || col >= len(r.Distinct) {
+		return 0
+	}
+	return r.Distinct[col]
+}
+
+// Fingerprint returns a stable digest of the snapshot, used to key plan
+// caches: two snapshots with the same fingerprint produce the same cost
+// rankings, so their plans are interchangeable. Relations are fingerprinted
+// in sorted name order — collection order is presentation, not content.
+func (s *Stats) Fingerprint() string {
+	if s == nil {
+		return ""
+	}
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, name := range names {
+		r := s.rels[name]
+		fmt.Fprintf(h, "%s:%d:", name, r.Rows)
+		for i, d := range r.Distinct {
+			if i > 0 {
+				fmt.Fprint(h, ",")
+			}
+			fmt.Fprintf(h, "%d", d)
+		}
+		fmt.Fprint(h, ";")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// String summarises the snapshot for diagnostics and Explain reports.
+func (s *Stats) String() string {
+	if s == nil {
+		return "stats{none}"
+	}
+	var b strings.Builder
+	b.WriteString("stats{")
+	for i, name := range s.order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		r := s.rels[name]
+		fmt.Fprintf(&b, "%s:%d", name, r.Rows)
+		if r.Sampled {
+			b.WriteString("~")
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}

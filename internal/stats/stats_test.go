@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+
+	"hypertree/internal/relation"
+)
+
+func buildDB(t *testing.T) *relation.Database {
+	t.Helper()
+	db := relation.NewDatabase()
+	// r: 4 rows, col0 has 2 distinct values, col1 has 4
+	for i, a := range []string{"x", "x", "y", "y"} {
+		if err := db.AddFact("r", a, fmt.Sprintf("b%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.AddFact("s", "only"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCollectExact(t *testing.T) {
+	db := buildDB(t)
+	s := Collect(db)
+	if got := s.Rows("r"); got != 4 {
+		t.Errorf("Rows(r) = %d, want 4", got)
+	}
+	if got := s.Distinct("r", 0); got != 2 {
+		t.Errorf("Distinct(r,0) = %d, want 2", got)
+	}
+	if got := s.Distinct("r", 1); got != 4 {
+		t.Errorf("Distinct(r,1) = %d, want 4", got)
+	}
+	if got := s.Rows("s"); got != 1 {
+		t.Errorf("Rows(s) = %d, want 1", got)
+	}
+	if r := s.Relation("r"); r == nil || r.Sampled {
+		t.Errorf("Relation(r) = %+v, want exact stats", r)
+	}
+	// unknown relations and columns report zero, not panic
+	if s.Rows("nope") != 0 || s.Distinct("r", 9) != 0 || s.Distinct("nope", 0) != 0 {
+		t.Error("unknown lookups must report 0")
+	}
+	if got := len(s.RelationNames()); got != 2 {
+		t.Errorf("RelationNames: %d, want 2", got)
+	}
+}
+
+func TestCollectSampledBoundsAndScales(t *testing.T) {
+	db := relation.NewDatabase()
+	r, err := db.AddRelation("big", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		r.Add(relation.Value(db.Intern(fmt.Sprintf("v%d", i%50))))
+	}
+	s := CollectSampled(db, 10)
+	rel := s.Relation("big")
+	if rel == nil || !rel.Sampled {
+		t.Fatalf("big must be sampled: %+v", rel)
+	}
+	if rel.Rows != 50 {
+		// set semantics deduplicate to the 50 distinct unary tuples
+		t.Fatalf("Rows = %d, want 50", rel.Rows)
+	}
+	if d := rel.Distinct[0]; d < 1 || d > rel.Rows {
+		t.Fatalf("Distinct[0] = %d out of [1, %d]", d, rel.Rows)
+	}
+	// sample ≤ 0 selects the default bound and, at 50 rows, scans fully
+	s2 := CollectSampled(db, 0)
+	if s2.Relation("big").Sampled {
+		t.Error("50 rows under the 1024-row default must be exact")
+	}
+	if got := s2.Distinct("big", 0); got != 50 {
+		t.Errorf("Distinct = %d, want 50", got)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	db := buildDB(t)
+	a, b := Collect(db), Collect(db)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical databases must fingerprint identically")
+	}
+	if err := db.AddFact("r", "z", "z"); err != nil {
+		t.Fatal(err)
+	}
+	if c := Collect(db); c.Fingerprint() == a.Fingerprint() {
+		t.Error("a cardinality change must change the fingerprint")
+	}
+	var nilStats *Stats
+	if nilStats.Fingerprint() != "" {
+		t.Error("nil snapshot must fingerprint empty")
+	}
+	if nilStats.Rows("r") != 0 || nilStats.Relation("r") != nil || nilStats.RelationNames() != nil {
+		t.Error("nil snapshot accessors must be inert")
+	}
+	if nilStats.String() != "stats{none}" {
+		t.Error("nil snapshot String")
+	}
+}
+
+func TestStringMarksSampling(t *testing.T) {
+	db := relation.NewDatabase()
+	r, _ := db.AddRelation("big", 1)
+	for i := 0; i < 2000; i++ {
+		r.Add(relation.Value(db.Intern(fmt.Sprintf("v%d", i))))
+	}
+	s := CollectSampled(db, 100)
+	if got := s.String(); got != "stats{big:2000~}" {
+		t.Errorf("String = %q", got)
+	}
+}

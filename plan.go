@@ -7,6 +7,7 @@ import (
 
 	"hypertree/internal/decomp"
 	"hypertree/internal/hdeval"
+	"hypertree/internal/stats"
 	"hypertree/internal/yannakakis"
 )
 
@@ -32,6 +33,11 @@ type Plan struct {
 	decomposer   string
 	generalized  bool // decomposition validated as a GHD (conditions 1–3 only)
 	fractional   bool // decomposition carries fractional λ weights (validated by ValidateFHD)
+
+	// cost-based planning state (nil/zero without WithStats/WithCostModel)
+	stats    *stats.Stats
+	edgeRows []float64 // per-hypergraph-edge cardinality estimates
+	estCost  float64   // Σ over nodes of the annotated EstRows
 }
 
 // compileConfig is assembled by the functional options.
@@ -42,8 +48,10 @@ type compileConfig struct {
 	workers      int
 	shardWorkers int
 	decomposer   Decomposer
-	race         bool  // WithAutoStrategy: race the engines instead of fixing one
-	err          error // first invalid option
+	race         bool         // WithAutoStrategy: race the engines instead of fixing one
+	stats        *stats.Stats // WithCostModel snapshot (wins over statsDB)
+	statsDB      *Database    // WithStats: collect sampled statistics at compile time
+	err          error        // first invalid option
 }
 
 // CompileOption is a functional option for Compile.
@@ -100,6 +108,10 @@ func WithDecomposer(d Decomposer) CompileOption {
 // under the shared context and step-budget plumbing, and keeps the result
 // of lowest achieved fractional width — the evaluation-cost exponent —
 // with ties broken by guarantee strength (exact HD, then fhd, then ghd).
+// With statistics (WithStats/WithCostModel) the race ranks entrants by
+// estimated total evaluation cost against the actual relation
+// cardinalities instead of width alone, falling back to the width ranking
+// when no statistics are given.
 // The exact entrant runs under WithStepBudget's budget, or
 // DefaultRaceExactBudget when none is set, so the race always terminates;
 // engines that fail just drop out. The winner is recorded in
@@ -138,6 +150,11 @@ func newCompileConfig(opts []CompileOption) (*compileConfig, error) {
 	}
 	if cfg.race && cfg.decomposer != nil {
 		return nil, fmt.Errorf("hypertree: WithAutoStrategy races the built-in engines and cannot be combined with WithDecomposer")
+	}
+	if cfg.stats == nil && cfg.statsDB != nil {
+		// WithStats: collect here rather than in compile, so a PlanCache can
+		// fingerprint the snapshot into its key before deciding hit or miss.
+		cfg.stats = stats.CollectSampled(cfg.statsDB, 0)
 	}
 	return cfg, nil
 }
@@ -198,6 +215,7 @@ func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 		head:         head,
 		workers:      cfg.workers,
 		shardWorkers: cfg.shardWorkers,
+		stats:        cfg.stats,
 	}
 	switch strategy {
 	case StrategyNaive:
@@ -216,12 +234,16 @@ func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 		}
 		return p, nil
 	case StrategyHypertree:
-		h := QueryHypergraph(q)
+		h, edgeToAtom := q.Hypergraph()
 		var dec *Decomposition
 		req := DecomposeRequest{
 			MaxWidth:   cfg.maxWidth,
 			StepBudget: cfg.stepBudget,
 			Workers:    cfg.workers,
+		}
+		if cfg.stats != nil {
+			p.edgeRows = edgeRowsFor(q, edgeToAtom, cfg.stats)
+			req.EdgeRows = p.edgeRows
 		}
 		switch {
 		case h.NumEdges() == 0:
@@ -270,8 +292,23 @@ func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 				return nil, fmt.Errorf("hypertree: decomposer %q produced an invalid decomposition: %w", p.decomposer, err)
 			}
 		}
+		if p.edgeRows != nil {
+			// Stamp the cost estimates on the tree once, refine them with the
+			// distinct-count cross-product bound, and remember the total: the
+			// plan is immutable afterwards, so Explain and the evaluator's
+			// join ordering read the same numbers forever. Annotate a clone —
+			// a pluggable Decomposer may legally return a shared or memoised
+			// tree, which must not be written to.
+			dec = dec.Clone()
+			dec.AnnotateCosts(p.edgeRows)
+			refineEstimates(q, edgeToAtom, cfg.stats, dec)
+			p.estCost = 0
+			for _, n := range dec.Nodes() {
+				p.estCost += n.EstRows
+			}
+		}
 		p.dec = dec
-		p.eval, err = hdeval.NewEvaluator(q, dec)
+		p.eval, err = hdeval.NewEvaluatorStats(q, dec, p.edgeRows)
 		if err != nil {
 			return nil, err
 		}

@@ -145,10 +145,14 @@ func (c *PlanCache) sweepLocked() {
 
 // Stats returns the cumulative hit and miss counters. Like Metrics it is
 // safe to call concurrently with Compile from any number of goroutines.
+//
+// Deprecated: use Metrics — it reports the same hit/miss counters plus
+// evictions and the live entry count in one atomic snapshot. Stats predates
+// Metrics and survives as this thin wrapper; note that, like Metrics, it
+// now sweeps expired TTL entries as a side effect.
 func (c *PlanCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	m := c.Metrics()
+	return m.Hits, m.Misses
 }
 
 // CacheMetrics is a point-in-time snapshot of the cache counters: a TTL
@@ -196,7 +200,11 @@ func (c *PlanCache) Purge() {
 // asked for — "auto" for WithAutoStrategy compiles (newCompileConfig
 // rejects auto + WithDecomposer, so the two can never be confused) — which
 // keeps lookups stable even though an auto plan records the resolved race
-// winner in Plan.DecomposerName.
+// winner in Plan.DecomposerName. The statistics snapshot participates via
+// its Fingerprint (newCompileConfig resolves WithStats collection before
+// keying): cost-based planning picks among same-width plans by the
+// snapshot, so plans compiled under different statistics — or none — must
+// never serve each other's lookups.
 func planCacheKey(q *Query, cfg *compileConfig) string {
 	name := ""
 	if cfg.decomposer != nil {
@@ -205,8 +213,9 @@ func planCacheKey(q *Query, cfg *compileConfig) string {
 	if cfg.race {
 		name = "auto"
 	}
-	return fmt.Sprintf("%s|s%d|k%d|b%d|w%d|sw%d|%s",
-		cq.CanonicalForm(q), cfg.strategy, cfg.maxWidth, cfg.stepBudget, cfg.workers, cfg.shardWorkers, name)
+	return fmt.Sprintf("%s|s%d|k%d|b%d|w%d|sw%d|%s|st%s",
+		cq.CanonicalForm(q), cfg.strategy, cfg.maxWidth, cfg.stepBudget, cfg.workers, cfg.shardWorkers, name,
+		cfg.stats.Fingerprint())
 }
 
 // DefaultPlanCacheSize is the capacity of the package-level plan cache.

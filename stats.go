@@ -1,0 +1,144 @@
+package hypertree
+
+import (
+	"fmt"
+
+	"hypertree/internal/stats"
+)
+
+// Stats is a statistics snapshot of a database — per-relation cardinalities
+// and per-column distinct counts — used by cost-based planning: see
+// WithStats, WithCostModel and Plan.Explain. Collect one with CollectStats
+// or CollectStatsSampled.
+type Stats = stats.Stats
+
+// CollectStats scans every relation of db fully and returns exact
+// statistics. On large databases prefer CollectStatsSampled.
+func CollectStats(db *Database) *Stats { return stats.Collect(db) }
+
+// CollectStatsSampled collects statistics from a bounded scan: tuple counts
+// are exact, distinct counts are estimated from the first sample rows of
+// each relation (sample ≤ 0 selects stats.DefaultSampleRows). This is the
+// collection WithStats performs — cheap enough to run inline at compile
+// time on multi-million-tuple databases.
+func CollectStatsSampled(db *Database, sample int) *Stats {
+	return stats.CollectSampled(db, sample)
+}
+
+// WithStats makes compilation cost-based against db: a sampled statistics
+// snapshot is collected (CollectStatsSampled with the default bound) and
+// threaded through the whole planning pipeline — the heuristic engines
+// break width ties toward cheaper λ placements, the WithAutoStrategy race
+// ranks entrants by estimated total cost Σ_p Π_{R∈λ(p)} |R|^w instead of
+// width alone, the evaluator orders each node's λ-join and the semijoin
+// passes by ascending estimated cardinality, and Plan.Explain reports the
+// per-node estimates. Statistics never change answers — only which
+// same-width plan wins and in which order it joins; the equivalence is
+// property-tested across every engine and the sharded path. The snapshot is
+// taken at compile time: a plan stays correct when the database drifts, but
+// recompile (plans compiled under different statistics are cached
+// separately, keyed by the snapshot's fingerprint) to re-rank. Use
+// WithCostModel to supply a precollected or hand-built snapshot instead;
+// when both options are given, WithCostModel wins.
+func WithStats(db *Database) CompileOption {
+	return func(c *compileConfig) {
+		if db == nil {
+			if c.err == nil {
+				c.err = fmt.Errorf("hypertree: WithStats on a nil database")
+			}
+			return
+		}
+		c.statsDB = db
+	}
+}
+
+// WithCostModel supplies an explicit statistics snapshot for cost-based
+// planning — the same effect as WithStats, with the collection under the
+// caller's control: collect exactly (CollectStats), collect once and reuse
+// across many compilations, or price plans against a database the process
+// never loads. A nil snapshot is rejected; to compile without a cost model,
+// omit the option. Takes precedence over WithStats when both are given.
+func WithCostModel(s *Stats) CompileOption {
+	return func(c *compileConfig) {
+		if s == nil {
+			if c.err == nil {
+				c.err = fmt.Errorf("hypertree: WithCostModel on a nil statistics snapshot")
+			}
+			return
+		}
+		c.stats = s
+	}
+}
+
+// EstimateCost prices a decomposition of q's hypergraph against a
+// statistics snapshot: Σ over nodes of Π_{R∈λ} |R|^w, the same AGM-style
+// estimate cost-based compilation minimises (without the distinct-count
+// refinement Plan.EstimatedCost additionally applies to its own nodes). It
+// lets experiments and tools compare plans compiled under different
+// rankings on one scale — e.g. how much cheaper the WithStats winner is
+// than the width-only winner.
+func EstimateCost(q *Query, d *Decomposition, s *Stats) float64 {
+	if d == nil || s == nil {
+		return 0
+	}
+	_, edgeToAtom := q.Hypergraph()
+	return d.CostWith(edgeRowsFor(q, edgeToAtom, s))
+}
+
+// edgeRowsFor prices every hypergraph edge with the cardinality of the
+// relation backing its atom, producing the EdgeRows slice the decomposition
+// request, the race and the evaluator share. edgeToAtom is the mapping
+// returned by Query.Hypergraph.
+func edgeRowsFor(q *Query, edgeToAtom []int, s *Stats) []float64 {
+	rows := make([]float64, len(edgeToAtom))
+	for e, ai := range edgeToAtom {
+		rows[e] = float64(s.Rows(q.Atoms[ai].Pred))
+	}
+	return rows
+}
+
+// refineEstimates tightens the annotated per-node cardinality estimates
+// with the per-column distinct counts: the node's table is a set of
+// χ-tuples, so it can never exceed Π_{v∈χ} d(v), where d(v) is the smallest
+// distinct-value count of v across the λ atoms containing it (a semijoin
+// argument: every surviving binding of v appears in every λ relation of the
+// node). When that cross-product bound undercuts the AGM bound Π |R|^w the
+// node keeps the smaller estimate. Estimates feed ordering and Explain
+// only — never answers — so the refinement is free to be approximate.
+func refineEstimates(q *Query, edgeToAtom []int, s *Stats, d *Decomposition) {
+	for _, n := range d.Nodes() {
+		bound := 1.0
+		ok := true
+		n.Chi.ForEach(func(v int) {
+			if !ok {
+				return
+			}
+			dv := 0
+			n.Lambda.ForEach(func(e int) {
+				if e >= len(edgeToAtom) {
+					return
+				}
+				atom := q.Atoms[edgeToAtom[e]]
+				for col, t := range atom.Args {
+					if !t.IsVar {
+						continue
+					}
+					if vi, found := q.VarIndex(t.Name); !found || vi != v {
+						continue
+					}
+					if c := s.Distinct(atom.Pred, col); c > 0 && (dv == 0 || c < dv) {
+						dv = c
+					}
+				}
+			})
+			if dv <= 0 {
+				ok = false // v unseen in the statistics: no bound through it
+				return
+			}
+			bound *= float64(dv)
+		})
+		if ok && bound < n.EstRows {
+			n.EstRows = bound
+		}
+	}
+}
