@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke docs
+.PHONY: check fmt vet build test race bench bench-smoke docs serve-smoke
 
 # The full gate CI runs: formatting, vet, build, race-instrumented tests
 # (the parallel evaluator and decomposition code must stay race-clean),
@@ -43,3 +43,10 @@ bench:
 # trajectory across PRs.
 bench-smoke: bench
 	$(GO) run ./cmd/hdbench -smoke
+
+# End-to-end smoke of the serving path: boot hdserve over the generated
+# serving database, drive a 5s hdload burst, drain on SIGTERM, and fail on
+# any non-2xx response or a zero PlanCache hit rate (see
+# scripts/serve_smoke.sh).
+serve-smoke:
+	sh ./scripts/serve_smoke.sh

@@ -4,14 +4,21 @@
 //	hdbench            # everything
 //	hdbench E5 E14     # a selection
 //	hdbench -smoke     # CI mode: scaled-down data, same assertions
+//	hdbench -json PATH # also write a machine-readable result record
 //
 // -smoke shrinks the heavy databases of E23 and E25 (and skips their
 // wall-clock speedup assertions, meaningless at toy scale) so the whole
 // suite runs in CI on every push — experiments cannot bit-rot unnoticed.
+//
+// -json writes one record per executed experiment (id, title, pass/fail,
+// error, wall time) plus run metadata to the given path — the format the
+// checked-in BENCH_<date>.json snapshots use, so a run is diffable against
+// the committed baseline.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,26 +51,63 @@ type experiment struct {
 // correctness assertions (wall-clock-only assertions are skipped).
 var smoke bool
 
+// benchRecord is one experiment's row in the -json report.
+type benchRecord struct {
+	ID       string  `json:"id"`
+	Title    string  `json:"title"`
+	Pass     bool    `json:"pass"`
+	Error    string  `json:"error,omitempty"`
+	Millis   float64 `json:"millis"`
+	Smoke    bool    `json:"smoke"`
+	Maxprocs int     `json:"gomaxprocs"`
+}
+
+// benchReport is the full -json payload: run metadata plus one record per
+// executed experiment.
+type benchReport struct {
+	Smoke       bool          `json:"smoke"`
+	Maxprocs    int           `json:"gomaxprocs"`
+	Failed      int           `json:"failed"`
+	Experiments []benchRecord `json:"experiments"`
+}
+
 func main() {
+	var jsonPath string
 	flag.BoolVar(&smoke, "smoke", false, "CI scale: shrink the heavy experiments, keep the assertions")
+	flag.StringVar(&jsonPath, "json", "", "write a machine-readable result record to this path")
 	flag.Parse()
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[strings.ToUpper(a)] = true
 	}
-	failed := 0
+	report := benchReport{Smoke: smoke, Maxprocs: runtime.GOMAXPROCS(0)}
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
 		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		rec := benchRecord{ID: e.id, Title: e.title, Pass: true, Smoke: smoke, Maxprocs: report.Maxprocs}
+		t0 := time.Now()
 		if err := e.run(); err != nil {
 			fmt.Printf("  FAILED: %v\n", err)
-			failed++
+			rec.Pass, rec.Error = false, err.Error()
+			report.Failed++
 		}
+		rec.Millis = float64(time.Since(t0).Microseconds()) / 1000
+		report.Experiments = append(report.Experiments, rec)
 		fmt.Println()
 	}
-	if failed > 0 {
+	if jsonPath != "" {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hdbench: writing -json:", err)
+			os.Exit(1)
+		}
+	}
+	if report.Failed > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,317 @@
+// Command hdload is a closed-loop load generator for hdserve: W workers each
+// drive one request at a time (send, wait, record, repeat) against POST
+// /query, sampling query shapes from a zipf-weighted mix and α-renaming the
+// variables of every request — so a cache hit on the server proves the
+// PlanCache key really is rename-invariant, not string-equal.
+//
+// Usage:
+//
+//	hdload -addr host:port [-duration 5s] [-workers 1,8,32] [-skew 0,1.5]
+//	       [-mix full,hot] [-timeout-ms 2000] [-max-rows 10] [-seed 1]
+//	       [-json PATH]
+//
+// -workers, -skew and -mix are comma-separated sweep lists: hdload runs one
+// closed-loop cell per (workers × skew × mix) combination and reports every
+// cell. Before and after each cell it snapshots GET /admin/metrics, so each
+// cell's report carries the server-side deltas — cache hit rate, coalesced
+// requests, executions — alongside the client-side throughput and latency
+// quantiles (p50/p95/p99). The full report is JSON, written to -json or
+// stdout.
+//
+// Mixes: "full" is the five-template gen.ServingPool (acyclic and cyclic
+// shapes); "hot" is its two hottest templates only.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypertree/internal/gen"
+	"hypertree/internal/serve"
+)
+
+// cellReport is one (workers × skew × mix) closed-loop measurement.
+type cellReport struct {
+	Workers   int     `json:"workers"`
+	Skew      float64 `json:"skew"`
+	Mix       string  `json:"mix"`
+	DurationS float64 `json:"duration_s"`
+
+	Requests   uint64  `json:"requests"`
+	Errors     uint64  `json:"errors"`
+	Throughput float64 `json:"throughput_qps"`
+
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P95Micros  float64 `json:"p95_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MaxMicros  uint64  `json:"max_us"`
+
+	// Server-side deltas over the cell (from /admin/metrics).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Coalesced    uint64  `json:"coalesced"`
+	Executions   uint64  `json:"executions"`
+
+	PerTemplate map[string]uint64 `json:"per_template"`
+}
+
+// loadReport is the full hdload run: one cell per sweep combination.
+type loadReport struct {
+	Addr  string       `json:"addr"`
+	Seed  int64        `json:"seed"`
+	Cells []cellReport `json:"cells"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "hdserve address (host:port), required")
+		duration  = flag.Duration("duration", 5*time.Second, "closed-loop duration per sweep cell")
+		workers   = flag.String("workers", "1,8,32", "comma-separated worker counts to sweep")
+		skews     = flag.String("skew", "0,1.5", "comma-separated zipf skews to sweep")
+		mixes     = flag.String("mix", "full,hot", "comma-separated query mixes to sweep (full | hot)")
+		timeoutMS = flag.Int("timeout-ms", 2000, "per-request timeout_ms sent to the server")
+		maxRows   = flag.Int("max-rows", 10, "max_rows sent per request (keeps responses small)")
+		seed      = flag.Int64("seed", 1, "base rng seed (worker w uses seed+w)")
+		jsonPath  = flag.String("json", "", "write the JSON report to this file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*addr, *duration, *workers, *skews, *mixes, *timeoutMS, *maxRows, *seed, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "hdload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, duration time.Duration, workersList, skewList, mixList string, timeoutMS, maxRows int, seed int64, jsonPath string) error {
+	if addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	base := "http://" + strings.TrimPrefix(addr, "http://")
+	workerCounts, err := parseInts(workersList)
+	if err != nil {
+		return fmt.Errorf("-workers: %w", err)
+	}
+	skews, err := parseFloats(skewList)
+	if err != nil {
+		return fmt.Errorf("-skew: %w", err)
+	}
+	mixNames := strings.Split(mixList, ",")
+
+	client := &http.Client{Timeout: time.Duration(timeoutMS)*time.Millisecond + 5*time.Second}
+	if err := waitHealthy(client, base, 10*time.Second); err != nil {
+		return err
+	}
+
+	report := loadReport{Addr: addr, Seed: seed}
+	for _, mixName := range mixNames {
+		pool, err := mixPool(strings.TrimSpace(mixName))
+		if err != nil {
+			return err
+		}
+		for _, skew := range skews {
+			mix, err := gen.NewQueryMix(pool, skew)
+			if err != nil {
+				return err
+			}
+			for _, w := range workerCounts {
+				cell, err := runCell(client, base, mix, strings.TrimSpace(mixName), skew, w, duration, timeoutMS, maxRows, seed)
+				if err != nil {
+					return err
+				}
+				report.Cells = append(report.Cells, *cell)
+				fmt.Fprintf(os.Stderr, "hdload: mix=%s skew=%g workers=%d  %.0f qps  p50=%.0fµs p95=%.0fµs p99=%.0fµs  hit=%.1f%% coalesced=%d errors=%d\n",
+					cell.Mix, cell.Skew, cell.Workers, cell.Throughput,
+					cell.P50Micros, cell.P95Micros, cell.P99Micros,
+					100*cell.CacheHitRate, cell.Coalesced, cell.Errors)
+			}
+		}
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if jsonPath != "" {
+		return os.WriteFile(jsonPath, out, 0o644)
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+// runCell drives one closed-loop cell: w workers, each looping
+// sample → rename → POST → record until the deadline.
+func runCell(client *http.Client, base string, mix *gen.QueryMix, mixName string, skew float64, w int,
+	duration time.Duration, timeoutMS, maxRows int, seed int64) (*cellReport, error) {
+	before, err := fetchMetrics(client, base)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		hist     serve.Histogram
+		requests atomic.Uint64
+		errCount atomic.Uint64
+		perTplMu sync.Mutex
+		perTpl   = map[string]uint64{}
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(worker)))
+			salt := worker * 1_000_000
+			local := map[string]uint64{}
+			for time.Now().Before(deadline) {
+				tpl := mix.Sample(rng)
+				salt++
+				src, err := gen.RenameQuery(tpl.Src, salt)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				ok := postQuery(client, base, src, timeoutMS, maxRows)
+				hist.Observe(time.Since(t0))
+				requests.Add(1)
+				local[tpl.Name]++
+				if !ok {
+					errCount.Add(1)
+				}
+			}
+			perTplMu.Lock()
+			for k, v := range local {
+				perTpl[k] += v
+			}
+			perTplMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	after, err := fetchMetrics(client, base)
+	if err != nil {
+		return nil, err
+	}
+	snap := hist.Snapshot()
+	cell := &cellReport{
+		Workers:     w,
+		Skew:        skew,
+		Mix:         mixName,
+		DurationS:   duration.Seconds(),
+		Requests:    requests.Load(),
+		Errors:      errCount.Load(),
+		Throughput:  float64(requests.Load()) / duration.Seconds(),
+		MeanMicros:  snap.MeanMicros,
+		P50Micros:   snap.P50Micros,
+		P95Micros:   snap.P95Micros,
+		P99Micros:   snap.P99Micros,
+		MaxMicros:   snap.MaxMicros,
+		Coalesced:   after.Coalesced - before.Coalesced,
+		Executions:  after.Executions - before.Executions,
+		PerTemplate: perTpl,
+	}
+	hits := after.Cache.Hits - before.Cache.Hits
+	misses := after.Cache.Misses - before.Cache.Misses
+	if hits+misses > 0 {
+		cell.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return cell, nil
+}
+
+// postQuery fires one /query request; true means HTTP 200.
+func postQuery(client *http.Client, base, src string, timeoutMS, maxRows int) bool {
+	body, _ := json.Marshal(serve.QueryRequest{Query: src, TimeoutMillis: timeoutMS, MaxRows: maxRows})
+	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// fetchMetrics snapshots the server's /admin/metrics.
+func fetchMetrics(client *http.Client, base string) (*serve.Metrics, error) {
+	resp, err := client.Get(base + "/admin/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/admin/metrics: status %d", resp.StatusCode)
+	}
+	var m serve.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// waitHealthy polls /healthz until the server answers or the budget lapses.
+func waitHealthy(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy within %v: %v", base, budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// mixPool resolves a mix name to its template pool.
+func mixPool(name string) ([]gen.QueryTemplate, error) {
+	pool := gen.ServingPool()
+	switch name {
+	case "full":
+		return pool, nil
+	case "hot":
+		return pool[:2], nil
+	default:
+		return nil, fmt.Errorf("unknown mix %q (valid: full | hot)", name)
+	}
+}
+
+// parseInts parses a comma-separated list of positive ints.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated list of non-negative floats.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad skew %q", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+// Command hdserve is the query-serving daemon over internal/serve: it loads
+// one database at startup, collects a sampled statistics snapshot, warms an
+// LRU+TTL PlanCache, and serves conjunctive-query evaluation over HTTP.
+//
+// Usage:
+//
+//	hdserve [-addr :8080] (-db factsfile | -gen-rows N [-gen-domain D] [-gen-seed S])
+//	        [-cache-size N] [-cache-ttl D] [-max-inflight N]
+//	        [-timeout D] [-max-timeout D] [-step-budget N] [-max-rows N]
+//	        [-portfile PATH] [-drain D]
+//
+// The database is either a facts file (-db, ground atoms in "r(a,b)." form)
+// or the generated serving workload (-gen-rows, matching gen.ServingPool so
+// hdload can drive it out of the box). -portfile writes the bound listen
+// address to a file once the listener is up — scripts that start hdserve on
+// ":0" read it to find the ephemeral port.
+//
+// Endpoints: POST /query (JSON), GET /admin/metrics, GET /admin/explain,
+// GET /healthz. See internal/serve for the request dataflow, in-flight
+// batching and admission control.
+//
+// SIGTERM/SIGINT drain gracefully: the listener stops accepting, in-flight
+// requests run to completion (bounded by -drain), stragglers are cancelled,
+// and a final metrics snapshot is printed to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hypertree"
+	"hypertree/internal/gen"
+	"hypertree/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address (\":0\" picks an ephemeral port)")
+		dbFile      = flag.String("db", "", "facts file to load (ground atoms, one or more per line)")
+		genRows     = flag.Int("gen-rows", 0, "generate the serving database with N rows per relation instead of -db")
+		genDomain   = flag.Int("gen-domain", 1000, "constant domain size for -gen-rows")
+		genSeed     = flag.Int64("gen-seed", 1, "rng seed for -gen-rows")
+		cacheSize   = flag.Int("cache-size", 0, "PlanCache capacity (0 = default)")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "PlanCache entry time-to-live (0 = never expire)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2×GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "default per-request deadline (0 = 5s)")
+		maxTimeout  = flag.Duration("max-timeout", 0, "clamp on client-supplied timeouts (0 = 60s)")
+		stepBudget  = flag.Int("step-budget", 0, "decomposition search step budget (0 = default)")
+		maxRows     = flag.Int("max-rows", 0, "max answer rows per response (0 = 1000)")
+		portfile    = flag.String("portfile", "", "write the bound listen address to this file once serving")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+	if err := run(*addr, *dbFile, *genRows, *genDomain, *genSeed, *cacheSize, *cacheTTL,
+		*maxInflight, *timeout, *maxTimeout, *stepBudget, *maxRows, *portfile, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "hdserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dbFile string, genRows, genDomain int, genSeed int64, cacheSize int, cacheTTL time.Duration,
+	maxInflight int, timeout, maxTimeout time.Duration, stepBudget, maxRows int, portfile string, drain time.Duration) error {
+	db, desc, err := loadDatabase(dbFile, genRows, genDomain, genSeed)
+	if err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	s, err := serve.New(serve.Config{
+		DB:             db,
+		CacheSize:      cacheSize,
+		CacheTTL:       cacheTTL,
+		MaxInflight:    maxInflight,
+		DefaultTimeout: timeout,
+		MaxTimeout:     maxTimeout,
+		StepBudget:     stepBudget,
+		MaxAnswerRows:  maxRows,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	fmt.Fprintf(os.Stderr, "hdserve: %s, statistics collected in %v\n", desc, time.Since(t0).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if portfile != "" {
+		if err := os.WriteFile(portfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hdserve: serving on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "hdserve: %v, draining (deadline %v)\n", sig, drain)
+	}
+
+	// Drain: stop accepting, let in-flight requests finish (their execution
+	// contexts derive from the Server lifecycle, not the listener), then
+	// cancel whatever is still running.
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	shutdownErr := srv.Shutdown(ctx)
+	if errors.Is(shutdownErr, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "hdserve: drain deadline hit, closing stragglers")
+		srv.Close()
+		shutdownErr = nil
+	}
+	s.Close()
+
+	out, _ := json.Marshal(s.Metrics())
+	fmt.Fprintf(os.Stderr, "hdserve: final metrics %s\n", out)
+	return shutdownErr
+}
+
+// loadDatabase resolves the -db / -gen-rows choice into a loaded database
+// and a one-line description for the startup banner.
+func loadDatabase(dbFile string, genRows, genDomain int, genSeed int64) (*hypertree.Database, string, error) {
+	switch {
+	case dbFile != "" && genRows > 0:
+		return nil, "", fmt.Errorf("-db and -gen-rows are mutually exclusive")
+	case dbFile != "":
+		facts, err := os.ReadFile(dbFile)
+		if err != nil {
+			return nil, "", err
+		}
+		db := hypertree.NewDatabase()
+		if err := db.ParseFacts(string(facts)); err != nil {
+			return nil, "", err
+		}
+		return db, fmt.Sprintf("loaded %s (%d relations)", dbFile, len(db.RelationNames())), nil
+	case genRows > 0:
+		if genDomain < 1 {
+			return nil, "", fmt.Errorf("-gen-domain must be ≥ 1")
+		}
+		db := gen.ServingDatabase(rand.New(rand.NewSource(genSeed)), genRows, genDomain)
+		return db, fmt.Sprintf("generated serving database (%d rows × r1..r4, domain %d, seed %d)", genRows, genDomain, genSeed), nil
+	default:
+		return nil, "", fmt.Errorf("one of -db or -gen-rows is required")
+	}
+}

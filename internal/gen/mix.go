@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"hypertree/internal/cq"
+	"hypertree/internal/relation"
+)
+
+// A QueryTemplate names one member of a query-mix pool: a human-readable
+// label plus the query source in rule syntax. Templates are what serving
+// workloads sample — the label keys per-template counters in load reports.
+type QueryTemplate struct {
+	Name string
+	Src  string
+}
+
+// QueryMix is a zipf-weighted sampler over a pool of query templates: the
+// i-th template (0-based rank, pool order) is drawn with probability
+// proportional to 1/(i+1)^skew, so low ranks dominate at high skew and
+// skew 0 degrades to the uniform mix. This is the query-popularity model of
+// closed-loop serving benchmarks (a few hot query shapes, a long cold
+// tail) — exactly the regime an LRU PlanCache is supposed to exploit.
+//
+// A QueryMix is immutable after construction and safe for concurrent use:
+// Sample takes the caller's *rand.Rand, so each load-generator worker can
+// sample from its own deterministic stream.
+type QueryMix struct {
+	templates []QueryTemplate
+	weights   []float64
+	cum       []float64 // cumulative weights; cum[len-1] = total mass
+}
+
+// NewQueryMix builds a zipf-weighted mix over templates (sampled in pool
+// order: rank 0 is the hottest). skew < 0 or an empty pool is rejected.
+func NewQueryMix(templates []QueryTemplate, skew float64) (*QueryMix, error) {
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("gen: NewQueryMix needs at least one template")
+	}
+	if skew < 0 || math.IsNaN(skew) || math.IsInf(skew, 0) {
+		return nil, fmt.Errorf("gen: NewQueryMix skew %v must be a finite value ≥ 0", skew)
+	}
+	for i, t := range templates {
+		if _, err := cq.Parse(t.Src); err != nil {
+			return nil, fmt.Errorf("gen: template %d (%s): %w", i, t.Name, err)
+		}
+	}
+	m := &QueryMix{
+		templates: append([]QueryTemplate(nil), templates...),
+		weights:   make([]float64, len(templates)),
+		cum:       make([]float64, len(templates)),
+	}
+	total := 0.0
+	for i := range m.templates {
+		w := math.Pow(float64(i+1), -skew)
+		m.weights[i] = w
+		total += w
+		m.cum[i] = total
+	}
+	return m, nil
+}
+
+// Sample draws one template from the mix using the caller's rng.
+func (m *QueryMix) Sample(rng *rand.Rand) QueryTemplate {
+	return m.templates[m.SampleIndex(rng)]
+}
+
+// SampleIndex draws the pool index of one template using the caller's rng.
+func (m *QueryMix) SampleIndex(rng *rand.Rand) int {
+	x := rng.Float64() * m.cum[len(m.cum)-1]
+	for i, c := range m.cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(m.cum) - 1
+}
+
+// Templates returns a copy of the pool in rank order.
+func (m *QueryMix) Templates() []QueryTemplate {
+	return append([]QueryTemplate(nil), m.templates...)
+}
+
+// Weight returns the normalised sampling probability of rank i.
+func (m *QueryMix) Weight(i int) float64 {
+	return m.weights[i] / m.cum[len(m.cum)-1]
+}
+
+// ServingPool returns the query templates of the standard serving workload:
+// five shapes — Boolean paths, a headed 2-path projection, the triangle and
+// the 4-cycle (both cyclic, hw = 2), and a star — all phrased over the four
+// shared binary relations r1..r4 that ServingDatabase populates, so one
+// database answers every template. The pool deliberately mixes acyclic
+// (Yannakakis) and cyclic (decomposition-race) shapes: a warm PlanCache has
+// to amortise both.
+func ServingPool() []QueryTemplate {
+	return []QueryTemplate{
+		{Name: "path3", Src: `r1(X1, X2), r2(X2, X3), r3(X3, X4)`},
+		{Name: "path2-enum", Src: `ans(X1, X3) :- r1(X1, X2), r2(X2, X3).`},
+		{Name: "triangle", Src: `r1(X1, X2), r2(X2, X3), r3(X3, X1)`},
+		{Name: "cycle4", Src: `r1(X1, X2), r2(X2, X3), r3(X3, X4), r4(X4, X1)`},
+		{Name: "star3", Src: `r1(C, X1), r2(C, X2), r3(C, X3)`},
+	}
+}
+
+// ServingDatabase builds the database behind ServingPool: the binary
+// relations r1..r4 with rows random tuples each over a domain of the given
+// size, constants interned up front (the LargeRandomDatabase fast path).
+func ServingDatabase(rng *rand.Rand, rows, domain int) *relation.Database {
+	db := relation.NewDatabase()
+	vals := make([]relation.Value, domain)
+	for i := range vals {
+		vals[i] = db.Intern(fmt.Sprintf("d%d", i))
+	}
+	for _, name := range []string{"r1", "r2", "r3", "r4"} {
+		r, err := db.AddRelation(name, 2)
+		if err != nil {
+			panic(err) // fresh database: names cannot collide
+		}
+		for i := 0; i < rows; i++ {
+			r.Add(vals[rng.Intn(domain)], vals[rng.Intn(domain)])
+		}
+	}
+	return db
+}
+
+// RenameQuery α-renames every variable of the query in src to V<salt>_<i>
+// (i = the variable's intern index) and re-renders it in rule syntax. The
+// result parses back to a query whose canonical form equals the original's —
+// the load generator uses it to prove the PlanCache key really is
+// rename-invariant: every request carries syntactically fresh variable
+// names, yet all α-equivalent requests must hit one cache slot. Constants
+// are re-rendered as quoted literals, so any constant value round-trips.
+func RenameQuery(src string, salt int) (string, error) {
+	q, err := cq.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	rename := func(t cq.Term) string {
+		if !t.IsVar {
+			return `"` + t.Name + `"`
+		}
+		i, ok := q.VarIndex(t.Name)
+		if !ok {
+			return t.Name // unreachable: every query variable is interned
+		}
+		return fmt.Sprintf("V%d_%d", salt, i)
+	}
+	atom := func(a cq.Atom) string {
+		parts := make([]string, len(a.Args))
+		for i, t := range a.Args {
+			parts[i] = rename(t)
+		}
+		return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+	}
+	var b strings.Builder
+	if q.Head != nil {
+		b.WriteString(atom(*q.Head))
+		b.WriteString(" :- ")
+	}
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(atom(a))
+	}
+	b.WriteString(".")
+	return b.String(), nil
+}

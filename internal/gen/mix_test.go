@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertree/internal/cq"
+)
+
+func TestQueryMixZipfSkew(t *testing.T) {
+	mix, err := NewQueryMix(ServingPool(), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, len(mix.Templates()))
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[mix.SampleIndex(rng)]++
+	}
+	// Rank frequencies must be monotone non-increasing (allowing sampling
+	// noise) and the hottest template must clearly dominate the coldest.
+	for i := 1; i < len(counts); i++ {
+		if float64(counts[i]) > 1.1*float64(counts[i-1]) {
+			t.Fatalf("rank %d drawn %d times, rank %d drawn %d — zipf order violated", i, counts[i], i-1, counts[i-1])
+		}
+	}
+	if counts[0] < 3*counts[len(counts)-1] {
+		t.Fatalf("skew 1.5 not visible: hottest %d vs coldest %d", counts[0], counts[len(counts)-1])
+	}
+	// Empirical frequencies track the declared weights.
+	if w := mix.Weight(0); float64(counts[0])/draws < 0.8*w || float64(counts[0])/draws > 1.2*w {
+		t.Fatalf("rank 0: drawn fraction %.3f, declared weight %.3f", float64(counts[0])/draws, w)
+	}
+}
+
+func TestQueryMixUniformAtZeroSkew(t *testing.T) {
+	mix, err := NewQueryMix(ServingPool(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(mix.Templates())
+	for i := 0; i < n; i++ {
+		if got, want := mix.Weight(i), 1.0/float64(n); got < want-1e-9 || got > want+1e-9 {
+			t.Fatalf("skew 0: weight(%d) = %v, want uniform %v", i, got, want)
+		}
+	}
+}
+
+func TestQueryMixRejectsBadInput(t *testing.T) {
+	if _, err := NewQueryMix(nil, 1); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := NewQueryMix(ServingPool(), -1); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+	if _, err := NewQueryMix([]QueryTemplate{{Name: "bad", Src: "not a query ("}}, 1); err == nil {
+		t.Fatal("unparseable template accepted")
+	}
+}
+
+func TestServingPoolRunsAgainstServingDatabase(t *testing.T) {
+	db := ServingDatabase(rand.New(rand.NewSource(2)), 50, 20)
+	for _, tpl := range ServingPool() {
+		q := cq.MustParse(tpl.Src)
+		for _, a := range q.Atoms {
+			r := db.Relation(a.Pred)
+			if r == nil {
+				t.Fatalf("template %s uses relation %s the serving database lacks", tpl.Name, a.Pred)
+			}
+			if r.Arity != len(a.Args) {
+				t.Fatalf("template %s: relation %s arity %d, atom wants %d", tpl.Name, a.Pred, r.Arity, len(a.Args))
+			}
+		}
+	}
+}
+
+func TestRenameQueryPreservesCanonicalForm(t *testing.T) {
+	for _, tpl := range append(ServingPool(), QueryTemplate{
+		Name: "constants", Src: `ans(X) :- r(X, c1), s("lit two", X).`,
+	}) {
+		orig := cq.MustParse(tpl.Src)
+		renamed, err := RenameQuery(tpl.Src, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", tpl.Name, err)
+		}
+		if renamed == tpl.Src {
+			t.Fatalf("%s: rename was a no-op", tpl.Name)
+		}
+		rq, err := cq.Parse(renamed)
+		if err != nil {
+			t.Fatalf("%s: renamed source %q does not parse back: %v", tpl.Name, renamed, err)
+		}
+		if got, want := cq.CanonicalForm(rq), cq.CanonicalForm(orig); got != want {
+			t.Fatalf("%s: canonical form drifted\n  orig    %s\n  renamed %s", tpl.Name, want, got)
+		}
+		// Distinct salts yield distinct sources (fresh names per request).
+		other, _ := RenameQuery(tpl.Src, 43)
+		if other == renamed {
+			t.Fatalf("%s: salts 42 and 43 collide", tpl.Name)
+		}
+	}
+}

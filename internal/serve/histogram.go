@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// histBuckets is the number of log₂ microsecond buckets a Histogram keeps:
+// bucket i counts observations in [2^i, 2^(i+1)) µs, so 40 buckets span
+// sub-microsecond to ~12-day latencies — every request a daemon can see.
+const histBuckets = 40
+
+// A Histogram is a fixed-bucket log₂ latency histogram: cheap to observe
+// (one mutex, one increment), cheap to export, and accurate to a factor of
+// two at the tail — the right trade for an always-on admin endpoint. The
+// zero value is ready to use; safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histBuckets]uint64
+	count  uint64
+	sum    uint64 // total microseconds
+	max    uint64 // largest single observation, microseconds
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	us := uint64(0)
+	if d > 0 {
+		us = uint64(d.Microseconds())
+	}
+	b := 0
+	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	h.mu.Lock()
+	h.counts[b]++
+	h.count++
+	h.sum += us
+	if us > h.max {
+		h.max = us
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time export of a Histogram: the moment
+// statistics plus bucket-estimated latency percentiles, all in microseconds.
+// Percentile estimates carry the histogram's factor-of-two bucket
+// resolution (each reports the geometric midpoint of its bucket).
+type HistogramSnapshot struct {
+	Count      uint64  `json:"count"`
+	MeanMicros float64 `json:"mean_us"`
+	MaxMicros  uint64  `json:"max_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P95Micros  float64 `json:"p95_us"`
+	P99Micros  float64 `json:"p99_us"`
+}
+
+// Snapshot returns a consistent point-in-time export of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, MaxMicros: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.MeanMicros = float64(h.sum) / float64(h.count)
+	s.P50Micros = h.quantileLocked(0.50)
+	s.P95Micros = h.quantileLocked(0.95)
+	s.P99Micros = h.quantileLocked(0.99)
+	return s
+}
+
+// quantileLocked estimates the q-quantile from the buckets: the geometric
+// midpoint of the bucket holding the q·count-th observation. Callers hold
+// h.mu and have checked count > 0.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	cum := uint64(0)
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			lo := float64(uint64(1) << b) // bucket lower edge, 2^b µs
+			if b == 0 {
+				lo = 0
+			}
+			hi := float64(uint64(1) << (b + 1))
+			mid := math.Sqrt((lo + 1) * hi) // geometric midpoint, guarded at 0
+			if capped := float64(h.max); mid > capped {
+				mid = capped
+			}
+			return mid
+		}
+	}
+	return float64(h.max)
+}

@@ -1,0 +1,573 @@
+// Package serve is the long-lived query-serving layer over the compile-once
+// Plan API: a daemon-embeddable Server that owns one preloaded database, one
+// statistics snapshot and one warm LRU+TTL PlanCache, and exposes query
+// evaluation over HTTP.
+//
+// The design target is the Theorem 4.7 amortisation at serving scale: the
+// exponential-in-k decomposition search runs (at most) once per distinct
+// canonical query, every subsequent request — under any variable renaming —
+// reuses the cached Plan, and concurrent identical requests are batched
+// in flight so they share not just the compile but the execution itself.
+//
+// Request dataflow for POST /query:
+//
+//	parse → canonical key → join in-flight twin (coalesce)  ──┐
+//	                      └ else: admission (bounded worker    ├→ render per
+//	                        pool) → PlanCache.Compile →        │  request
+//	                        Plan.Execute under deadline ───────┘
+//
+// Admission is a bounded worker pool: at most MaxInflight plan executions
+// run concurrently, queued leaders wait no longer than their own request
+// deadline, and an admission miss is a fast 503 — load shedding, not
+// collapse. The per-request deadline (client-supplied timeout_ms, clamped
+// to MaxTimeout) bounds compile + execute; the decomposition search
+// additionally runs under StepBudget, so adversarial queries cannot pin a
+// worker on an NP-hard search.
+//
+// An admin surface (GET /admin/metrics, GET /admin/explain, GET /healthz)
+// exports the PlanCache counters, per-route latency histograms,
+// request/error/coalesce counters and compiled-plan reports.
+//
+// Graceful drain: the Server is carried by a standard *http.Server, so
+// SIGTERM handling is http.Server.Shutdown — in-flight requests run to
+// completion (their execution contexts derive from the Server's lifecycle
+// context, not the closed listener) — followed by Server.Close, which
+// cancels anything still running. See cmd/hdserve for the wiring.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypertree"
+)
+
+// ErrOverloaded is the admission-control verdict (HTTP 503): no worker slot
+// became free within the request's deadline.
+var ErrOverloaded = errors.New("serve: server overloaded, try again later")
+
+// Config parameterises a Server. The zero value of every field selects a
+// sensible serving default; only DB is mandatory.
+type Config struct {
+	// DB is the database every query executes against (required). The
+	// Server treats it as immutable: load it fully before New.
+	DB *hypertree.Database
+	// Stats is the statistics snapshot cost-based planning prices plans
+	// against. Nil collects a sampled snapshot from DB at startup — the
+	// snapshot is shared by every compile, so its fingerprint keeps all
+	// requests on the same PlanCache slots.
+	Stats *hypertree.Stats
+	// CacheSize bounds the PlanCache (≤ 0: hypertree.DefaultPlanCacheSize).
+	CacheSize int
+	// CacheTTL expires cached plans (≤ 0: never). A TTL suits databases
+	// that drift underneath the daemon: plans stay correct regardless, but
+	// re-compiling re-ranks them against fresher statistics.
+	CacheTTL time.Duration
+	// MaxInflight bounds concurrently executing queries (≤ 0: twice
+	// GOMAXPROCS). Queued requests wait up to their deadline, then 503.
+	MaxInflight int
+	// DefaultTimeout bounds compile+execute when the request does not
+	// supply timeout_ms (≤ 0: 5s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-supplied timeouts (≤ 0: 60s).
+	MaxTimeout time.Duration
+	// StepBudget bounds every decomposition search (≤ 0: 2_000_000 steps,
+	// a few hundred milliseconds worst case).
+	StepBudget int
+	// MaxAnswerRows caps the rows marshalled into one response; the full
+	// count is always reported and truncation is flagged (≤ 0: 1000).
+	MaxAnswerRows int
+}
+
+// withDefaults resolves every unset Config field.
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = hypertree.DefaultPlanCacheSize
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.StepBudget <= 0 {
+		c.StepBudget = 2_000_000
+	}
+	if c.MaxAnswerRows <= 0 {
+		c.MaxAnswerRows = 1000
+	}
+	return c
+}
+
+// A Server owns the warm serving state — database, statistics snapshot,
+// PlanCache — and hands out its HTTP surface via Handler. Create with New,
+// serve Handler() through an *http.Server, and Close after draining. Safe
+// for concurrent use.
+type Server struct {
+	cfg       Config
+	db        *hypertree.Database
+	stats     *hypertree.Stats
+	cache     *hypertree.PlanCache
+	opts      []hypertree.CompileOption
+	startedAt time.Time
+
+	baseCtx context.Context // execution lifecycle: outlives closed listeners
+	stop    context.CancelFunc
+
+	sem chan struct{} // admission: one slot per executing leader
+
+	mu     sync.Mutex
+	flight map[string]*flightCall
+
+	requests   atomic.Uint64 // /query requests received
+	errors     atomic.Uint64 // /query non-2xx responses
+	rejected   atomic.Uint64 // admission 503s (also counted in errors)
+	executions atomic.Uint64 // plan executions actually run (leaders)
+	coalesced  atomic.Uint64 // requests served by joining an in-flight twin
+
+	histMu sync.Mutex
+	hists  map[string]*Histogram
+
+	// testExecGate, when set (tests only), runs on the leader goroutine
+	// after admission and before compile+execute — the hook drain and
+	// coalescing tests use to hold a request measurably in flight.
+	testExecGate func()
+}
+
+// flightCall is one in-flight single-flight execution: the leader publishes
+// its result and closes done; followers render the shared result under
+// their own request parameters.
+type flightCall struct {
+	done    chan struct{}
+	waiters atomic.Int32 // followers currently joined (observability/tests)
+	res     flightResult
+}
+
+// flightResult is what one shared compile+execute produced.
+type flightResult struct {
+	plan          *hypertree.Plan
+	table         *hypertree.Table
+	boolean       bool // table is the 0/1-row rendering of a Boolean verdict
+	compileMicros int64
+	execMicros    int64
+	err           error
+}
+
+// New builds a Server over cfg.DB, collecting a sampled statistics snapshot
+// when cfg.Stats is nil. The returned Server is ready to serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("serve: Config.DB is required")
+	}
+	cfg = cfg.withDefaults()
+	st := cfg.Stats
+	if st == nil {
+		st = hypertree.CollectStatsSampled(cfg.DB, 0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		db:        cfg.DB,
+		stats:     st,
+		cache:     hypertree.NewPlanCacheTTL(cfg.CacheSize, cfg.CacheTTL),
+		startedAt: time.Now(),
+		baseCtx:   ctx,
+		stop:      cancel,
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		flight:    map[string]*flightCall{},
+		hists:     map[string]*Histogram{},
+	}
+	// One option slice for every request: identical options (and one stats
+	// fingerprint) mean every α-equivalent query shares one cache slot.
+	s.opts = []hypertree.CompileOption{
+		hypertree.WithAutoStrategy(),
+		hypertree.WithCostModel(st),
+		hypertree.WithStepBudget(cfg.StepBudget),
+	}
+	return s, nil
+}
+
+// Close cancels the lifecycle context behind every in-flight execution.
+// Call it after http.Server.Shutdown has drained the listeners (Shutdown
+// first, so in-flight requests finish; Close then reaps stragglers).
+func (s *Server) Close() { s.stop() }
+
+// Cache exposes the server's PlanCache (metrics, purge on reload).
+func (s *Server) Cache() *hypertree.PlanCache { return s.cache }
+
+// Handler returns the Server's HTTP surface:
+//
+//	POST /query          evaluate a conjunctive query (JSON in/out)
+//	GET  /admin/metrics  cache/request/latency counters (JSON)
+//	GET  /admin/explain  compiled-plan report for ?query=... (text)
+//	GET  /healthz        liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /admin/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /admin/explain", s.handleExplain)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// QueryRequest is the POST /query payload.
+type QueryRequest struct {
+	// Query is the conjunctive query in rule syntax; a headless body is a
+	// Boolean query.
+	Query string `json:"query"`
+	// TimeoutMillis bounds compile+execute for this request (0: the
+	// server's default; always clamped to the server's maximum).
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	// MaxRows caps the answer rows marshalled into the response, below the
+	// server-wide cap (0: the server-wide cap alone).
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// QueryResponse is the POST /query result.
+type QueryResponse struct {
+	// Query is the canonical form of the evaluated query — the PlanCache
+	// and batching key, shared by every α-renaming of the same query.
+	Query string `json:"query"`
+	// Boolean carries the verdict of a Boolean query; nil otherwise.
+	Boolean *bool `json:"boolean,omitempty"`
+	// Vars names the answer columns in the requester's own variable names.
+	Vars []string `json:"vars,omitempty"`
+	// Rows holds up to MaxRows answer tuples as constant names.
+	Rows [][]string `json:"rows,omitempty"`
+	// RowCount is the full (pre-truncation) answer cardinality.
+	RowCount int `json:"row_count"`
+	// Truncated reports that Rows was capped below RowCount.
+	Truncated bool `json:"truncated,omitempty"`
+	// Plan summarises the compiled plan (strategy, width, decomposer).
+	Plan string `json:"plan"`
+	// Width is the plan's decomposition width (1 acyclic, 0 naive).
+	Width int `json:"width"`
+	// Decomposer names the engine that produced the decomposition; auto
+	// race winners report as "auto(<engine>)".
+	Decomposer string `json:"decomposer,omitempty"`
+	// EstimatedCost is the plan's cost-model estimate (0 without stats).
+	EstimatedCost float64 `json:"estimated_cost,omitempty"`
+	// Coalesced reports that this request joined an in-flight twin instead
+	// of compiling and executing itself.
+	Coalesced bool `json:"coalesced"`
+	// CompileMicros and ExecMicros time the shared compile (≈0 on a plan
+	// cache hit) and execution.
+	CompileMicros int64 `json:"compile_us"`
+	ExecMicros    int64 `json:"exec_us"`
+}
+
+// ErrorResponse is the JSON error envelope for non-2xx responses.
+type ErrorResponse struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+}
+
+// handleQuery implements POST /query: parse, coalesce-or-admit, compile
+// through the warm cache, execute under the request deadline, render.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	defer func() { s.hist("/query").Observe(time.Since(start)) }()
+
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeQueryError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	q, err := hypertree.ParseQuery(req.Query)
+	if err != nil {
+		s.writeQueryError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	key := hypertree.CanonicalForm(q)
+
+	// reqCtx bounds how long THIS requester waits (queueing + joining);
+	// the shared execution itself runs under the leader's execCtx, which
+	// derives from the server lifecycle, not from any one client
+	// connection — a leader hanging up must not fail its followers.
+	reqCtx, cancelReq := context.WithTimeout(r.Context(), timeout)
+	defer cancelReq()
+
+	res, coalesced, err := s.evaluate(reqCtx, key, q, timeout)
+	if err == nil {
+		err = res.err
+	}
+	if err != nil {
+		s.writeQueryError(w, statusFor(err), err)
+		return
+	}
+	if coalesced {
+		s.coalesced.Add(1)
+	}
+	s.writeJSON(w, http.StatusOK, s.render(q, key, res, coalesced, req.MaxRows))
+}
+
+// evaluate returns the flight result for key, joining an in-flight twin
+// when one exists and otherwise leading a fresh admission+compile+execute.
+func (s *Server) evaluate(reqCtx context.Context, key string, q *hypertree.Query, timeout time.Duration) (*flightResult, bool, error) {
+	s.mu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		c.waiters.Add(1)
+		defer c.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return &c.res, true, nil
+		case <-reqCtx.Done():
+			return nil, true, reqCtx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.mu.Unlock()
+
+	finish := func() {
+		s.mu.Lock()
+		delete(s.flight, key)
+		s.mu.Unlock()
+		close(c.done)
+	}
+
+	// Admission: wait for a worker slot, but never past this requester's
+	// own deadline. Followers waiting on this flight inherit the verdict.
+	select {
+	case s.sem <- struct{}{}:
+	case <-reqCtx.Done():
+		err := ErrOverloaded
+		if reqCtx.Err() == context.Canceled {
+			err = reqCtx.Err()
+		}
+		c.res = flightResult{err: err}
+		s.rejected.Add(1)
+		finish()
+		return &c.res, false, nil
+	}
+	defer func() { <-s.sem }()
+	s.executions.Add(1)
+	if s.testExecGate != nil {
+		s.testExecGate()
+	}
+
+	execCtx, cancelExec := context.WithTimeout(s.baseCtx, timeout)
+	defer cancelExec()
+	c.res = s.compileAndExecute(execCtx, q)
+	finish()
+	return &c.res, false, nil
+}
+
+// compileAndExecute runs one shared compile (through the warm cache) and
+// execution under ctx.
+func (s *Server) compileAndExecute(ctx context.Context, q *hypertree.Query) flightResult {
+	var res flightResult
+	t0 := time.Now()
+	plan, err := s.cache.Compile(ctx, q, s.opts...)
+	res.compileMicros = time.Since(t0).Microseconds()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.plan = plan
+	t1 := time.Now()
+	res.table, res.err = plan.Execute(ctx, s.db)
+	res.execMicros = time.Since(t1).Microseconds()
+	res.boolean = q.IsBoolean()
+	return res
+}
+
+// render shapes a shared flight result for one requester: the requester's
+// own variable names (α-equivalent queries intern identical variable IDs,
+// so the shared table's columns line up) and its own row cap.
+func (s *Server) render(q *hypertree.Query, key string, res *flightResult, coalesced bool, maxRows int) *QueryResponse {
+	out := &QueryResponse{
+		Query:         key,
+		Plan:          res.plan.String(),
+		Width:         res.plan.Width(),
+		Decomposer:    res.plan.DecomposerName(),
+		EstimatedCost: res.plan.EstimatedCost(),
+		Coalesced:     coalesced,
+		CompileMicros: res.compileMicros,
+		ExecMicros:    res.execMicros,
+	}
+	if res.boolean {
+		verdict := !res.table.Empty()
+		out.Boolean = &verdict
+		return out
+	}
+	out.RowCount = res.table.Rows()
+	limit := s.cfg.MaxAnswerRows
+	if maxRows > 0 && maxRows < limit {
+		limit = maxRows
+	}
+	n := out.RowCount
+	if n > limit {
+		n, out.Truncated = limit, true
+	}
+	for _, v := range res.table.Vars {
+		out.Vars = append(out.Vars, q.VarName(v))
+	}
+	out.Rows = make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		row := res.table.Row(i)
+		named := make([]string, len(row))
+		for j, val := range row {
+			named[j] = s.db.ValueName(val)
+		}
+		out.Rows = append(out.Rows, named)
+	}
+	return out
+}
+
+// Metrics is the GET /admin/metrics payload: a consistent snapshot of the
+// serving counters, the PlanCache, and per-route latency histograms.
+type Metrics struct {
+	// UptimeSeconds counts from New.
+	UptimeSeconds float64 `json:"uptime_s"`
+	// Requests, Errors, Rejected, Executions and Coalesced are cumulative
+	// /query counters: total received, non-2xx responses, admission 503s
+	// (a subset of Errors), plan executions actually run, and requests
+	// served by joining an in-flight twin. Requests = Executions +
+	// Coalesced + admission/parse failures, so Coalesced > 0 is the
+	// observable proof that in-flight batching fired.
+	Requests   uint64 `json:"requests"`
+	Errors     uint64 `json:"errors"`
+	Rejected   uint64 `json:"rejected"`
+	Executions uint64 `json:"executions"`
+	Coalesced  uint64 `json:"coalesced"`
+	// Inflight and MaxInflight report the worker pool: currently occupied
+	// slots and the admission bound.
+	Inflight    int `json:"inflight"`
+	MaxInflight int `json:"max_inflight"`
+	// Cache snapshots the PlanCache counters; CacheHitRate is
+	// Hits/(Hits+Misses) (0 before the first compile), and CacheCapacity /
+	// CacheTTLSeconds echo the configuration.
+	Cache           hypertree.CacheMetrics `json:"cache"`
+	CacheHitRate    float64                `json:"cache_hit_rate"`
+	CacheCapacity   int                    `json:"cache_capacity"`
+	CacheTTLSeconds float64                `json:"cache_ttl_s"`
+	// Routes maps each HTTP route to its latency histogram snapshot.
+	Routes map[string]HistogramSnapshot `json:"routes"`
+}
+
+// Metrics snapshots the serving counters (also served on /admin/metrics).
+func (s *Server) Metrics() Metrics {
+	cm := s.cache.Metrics()
+	m := Metrics{
+		UptimeSeconds:   time.Since(s.startedAt).Seconds(),
+		Requests:        s.requests.Load(),
+		Errors:          s.errors.Load(),
+		Rejected:        s.rejected.Load(),
+		Executions:      s.executions.Load(),
+		Coalesced:       s.coalesced.Load(),
+		Inflight:        len(s.sem),
+		MaxInflight:     s.cfg.MaxInflight,
+		Cache:           cm,
+		CacheCapacity:   s.cache.Capacity(),
+		CacheTTLSeconds: s.cache.TTL().Seconds(),
+		Routes:          map[string]HistogramSnapshot{},
+	}
+	if cm.Hits+cm.Misses > 0 {
+		m.CacheHitRate = float64(cm.Hits) / float64(cm.Hits+cm.Misses)
+	}
+	s.histMu.Lock()
+	for route, h := range s.hists {
+		m.Routes[route] = h.Snapshot()
+	}
+	s.histMu.Unlock()
+	return m
+}
+
+// handleMetrics implements GET /admin/metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.hist("/admin/metrics").Observe(time.Since(start)) }()
+	s.writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleExplain implements GET /admin/explain?query=...: the compiled
+// plan's per-node cost/width report, compiling through the warm cache (so
+// explaining a served query is a cache hit, and explaining a new one warms
+// its slot).
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.hist("/admin/explain").Observe(time.Since(start)) }()
+	q, err := hypertree.ParseQuery(r.URL.Query().Get("query"))
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.DefaultTimeout)
+	defer cancel()
+	plan, err := s.cache.Compile(ctx, q, s.opts...)
+	if err != nil {
+		s.writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, plan.Explain())
+}
+
+// hist returns (creating on first use) the named route histogram.
+func (s *Server) hist(route string) *Histogram {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	h, ok := s.hists[route]
+	if !ok {
+		h = &Histogram{}
+		s.hists[route] = h
+	}
+	return h
+}
+
+// statusFor maps an evaluation error to its HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable // shutdown or client hang-up
+	case errors.Is(err, hypertree.ErrStepBudget),
+		errors.Is(err, hypertree.ErrWidthExceeded),
+		errors.Is(err, hypertree.ErrInvalidWidth):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeQueryError renders a /query failure and counts it.
+func (s *Server) writeQueryError(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// writeJSON renders v with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -218,7 +218,12 @@ func (p *PartitionedDB) Rows(name string) int {
 // gathers the results in shard order, which keeps every downstream merge
 // deterministic. The first error wins and is returned after all started
 // calls finish; a context cancelled mid-scatter stops unstarted calls
-// before they touch their shard.
+// before they touch their shard, and calls still queued for a worker slot
+// abandon the queue immediately instead of waiting for a slot to free —
+// under a concurrent serving load, a cancelled caller's goroutines must
+// not sit blocked behind other callers' shards (Scatter never returns
+// until every goroutine it spawned has exited, so prompt queue abandonment
+// is what bounds cancellation latency).
 func Scatter[T any](ctx context.Context, p *PartitionedDB, workers int, fn func(ctx context.Context, i int, db *relation.Database) (T, error)) ([]T, error) {
 	n := p.NumShards()
 	if workers <= 0 || workers > n {
@@ -232,7 +237,12 @@ func Scatter[T any](ctx context.Context, p *PartitionedDB, workers int, fn func(
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
 			if err := ctx.Err(); err != nil {
 				errs[i] = err

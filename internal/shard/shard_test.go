@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -257,5 +259,95 @@ func TestIncrementalShardSeesLaterConstants(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("fact was not placed on any shard")
+	}
+}
+
+// Cancelling a Scatter whose calls are queued behind a saturated worker
+// pool must return promptly: queued goroutines abandon the semaphore on
+// ctx.Done instead of waiting for the running call to free a slot.
+// Regression test for the serving regime, where a cancelled request's
+// scatter goroutines used to sit blocked behind other requests' shards.
+func TestScatterCancelAbandonsQueuedCalls(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(5)), 1, 64, 16)
+	p, err := Partition(db, 8, Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		// One worker: shard 0 runs (and blocks), shards 1..7 queue.
+		_, err := Scatter(ctx, p, 1,
+			func(_ context.Context, i int, _ *relation.Database) (int, error) {
+				started <- struct{}{}
+				<-release
+				return i, nil
+			})
+		done <- err
+	}()
+	<-started
+	cancel()
+	// The 7 queued calls must abandon the queue without a slot ever
+	// freeing; Scatter still waits for the one running call.
+	select {
+	case err := <-done:
+		t.Fatalf("Scatter returned (%v) while a call was still running", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Scatter did not return after cancellation — queued goroutines leaked")
+	}
+}
+
+// Race-stress: many concurrent Scatters over one PartitionedDB, half of
+// them cancelled mid-flight, must neither race nor leak goroutines.
+func TestScatterConcurrentCancelStress(t *testing.T) {
+	db := randomDB(rand.New(rand.NewSource(6)), 2, 200, 32)
+	p, err := Partition(db, 8, Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				if (g+i)%2 == 0 {
+					cancel() // half the scatters start cancelled or die mid-queue
+				}
+				_, err := Scatter(ctx, p, 2,
+					func(ctx context.Context, i int, sh *relation.Database) (int, error) {
+						n := 0
+						for _, name := range sh.RelationNames() {
+							n += sh.Relation(name).Rows()
+						}
+						return n, ctx.Err()
+					})
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every spawned goroutine must be gone: poll briefly, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutines leaked: %d alive, baseline %d", n, baseline)
 	}
 }

@@ -174,6 +174,13 @@ func (c *compileConfig) chosenDecomposer() Decomposer {
 // precomputes the evaluation skeleton. The returned Plan can be executed
 // against any number of databases, concurrently (Theorem 4.7). Use
 // CompileContext to bound or cancel the decomposition search.
+//
+// A Plan is tied to its query only up to α-renaming: the compiled tables
+// and answer columns carry positional variable IDs, so any variable
+// renaming of q describes the same Plan (PlanCache exploits this — its key
+// is the rename-invariant canonical form), whereas a body-atom reordering
+// is a different query for caching purposes even though its answers are
+// set-equal. See PlanCache for the pinned invariant.
 func Compile(q *Query, opts ...CompileOption) (*Plan, error) {
 	return CompileContext(context.Background(), q, opts...)
 }

@@ -11,10 +11,18 @@ import (
 )
 
 // PlanCache is an LRU cache of compiled Plans keyed by the canonical form
-// of the query (invariant under variable renaming; atom order is
-// significant because answer tables carry the compiled query's variable
-// IDs) plus the compile options — including the Decomposer name, so e.g. a
-// "ghd" plan and a "k-decomp" plan for the same query never collide. It
+// of the query plus the compile options — including the Decomposer name, so
+// e.g. a "ghd" plan and a "k-decomp" plan for the same query never collide.
+//
+// The canonical key is rename-invariant but NOT atom-reorder-invariant:
+// α-renaming the variables of a query maps it to the same slot (the
+// serving case — syntactically fresh requests reuse one plan), whereas
+// permuting its body atoms compiles and caches separately, even though the
+// answers are set-equal. Atom order is significant because answer tables
+// carry the compiled query's positional variable IDs; making reordering
+// hit would require remapping the cached plan's variable IDs onto the
+// caller's query (see ROADMAP). The invariant is pinned by
+// TestPlanCacheKeyRenameInvariantNotReorderInvariant. It
 // makes the Theorem 4.7 amortisation automatic: recompiling a query that
 // was already planned — under any variable naming — reuses the
 // decomposition instead of re-running the exponential-in-k search. An
@@ -185,6 +193,18 @@ func (c *PlanCache) Metrics() CacheMetrics {
 	defer c.mu.Unlock()
 	c.sweepLocked()
 	return CacheMetrics{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.ll.Len()}
+}
+
+// Capacity returns the maximum number of plans the cache holds — the bound
+// LRU eviction enforces, fixed at construction.
+func (c *PlanCache) Capacity() int { return c.capacity }
+
+// TTL returns the cache's time-to-live (0 when entries never expire).
+func (c *PlanCache) TTL() time.Duration {
+	if c.ttl < 0 {
+		return 0
+	}
+	return c.ttl
 }
 
 // Purge empties the cache (counters are kept).

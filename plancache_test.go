@@ -229,3 +229,52 @@ func TestPlanCacheMetricsConcurrent(t *testing.T) {
 		t.Fatalf("Len snapshot inconsistent after quiescence")
 	}
 }
+
+// The cache-key invariant the serving layer leans on, pinned exactly:
+// α-renaming a query's variables maps it to the SAME slot (the canonical
+// form interns variables positionally), while permuting its body atoms maps
+// it to a DIFFERENT slot even though the answers are set-equal — answer
+// tables carry the compiled query's positional variable IDs, so a reordered
+// query must not be served another ordering's plan. If this test starts
+// failing because reordering suddenly hits, the renderers that line shared
+// answer columns up by position (internal/serve) need auditing before the
+// "fix" lands.
+func TestPlanCacheKeyRenameInvariantNotReorderInvariant(t *testing.T) {
+	cache := NewPlanCache(8)
+	ctx := context.Background()
+
+	base := MustParseQuery(`ans(X, Z) :- r(X, Y), s(Y, Z), t(Z, X).`)
+	renamed := MustParseQuery(`ans(A, C) :- r(A, B), s(B, C), t(C, A).`)
+	reordered := MustParseQuery(`ans(X, Z) :- t(Z, X), s(Y, Z), r(X, Y).`)
+
+	if CanonicalForm(base) != CanonicalForm(renamed) {
+		t.Fatalf("canonical form must be rename-invariant:\n  %s\n  %s",
+			CanonicalForm(base), CanonicalForm(renamed))
+	}
+	if CanonicalForm(base) == CanonicalForm(reordered) {
+		t.Fatalf("canonical form must distinguish atom orders, both gave %s", CanonicalForm(base))
+	}
+
+	p1, err := cache.Compile(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cache.Compile(ctx, renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("α-renamed query compiled a distinct plan — rename invariance lost")
+	}
+	p3, err := cache.Compile(ctx, reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("atom-reordered query was served the original's plan — reordering must miss")
+	}
+	m := cache.Metrics()
+	if m.Hits != 1 || m.Misses != 2 || m.Len != 2 {
+		t.Fatalf("metrics = %+v, want hits=1 misses=2 len=2", m)
+	}
+}

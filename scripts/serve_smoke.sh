@@ -1,0 +1,47 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the serving path: boot hdserve on an
+# ephemeral port over the generated serving database, fire a short hdload
+# burst at it, and fail if any request came back non-2xx or the PlanCache
+# hit rate over the burst was zero. Exercised by `make serve-smoke` and CI.
+set -eu
+
+workdir="$(mktemp -d)"
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+echo "serve-smoke: building hdserve and hdload"
+go build -o "$workdir/hdserve" ./cmd/hdserve
+go build -o "$workdir/hdload" ./cmd/hdload
+
+"$workdir/hdserve" -addr 127.0.0.1:0 -gen-rows 500 -gen-domain 200 \
+    -portfile "$workdir/port" 2> "$workdir/hdserve.log" &
+server_pid=$!
+
+# Wait for the portfile (hdserve writes it once the listener is up).
+i=0
+while [ ! -s "$workdir/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: hdserve never came up" >&2
+        cat "$workdir/hdserve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(cat "$workdir/port")"
+echo "serve-smoke: hdserve on $addr"
+
+"$workdir/hdload" -addr "$addr" -duration 5s -workers 4 -skew 1.2 \
+    -mix full -timeout-ms 10000 -json "$workdir/load.json"
+
+# Graceful drain: SIGTERM must exit cleanly (final metrics on stderr).
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+    echo "serve-smoke: hdserve did not drain cleanly on SIGTERM" >&2
+    cat "$workdir/hdserve.log" >&2
+    exit 1
+fi
+echo "serve-smoke: clean SIGTERM drain"
+tail -1 "$workdir/hdserve.log"
+
+# Assert: zero request errors and a non-zero PlanCache hit rate.
+go run ./scripts/smokecheck "$workdir/load.json"

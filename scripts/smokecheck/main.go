@@ -1,0 +1,70 @@
+// Command smokecheck asserts the serve-smoke acceptance conditions over an
+// hdload JSON report: every cell served with zero request errors, and the
+// PlanCache hit rate over the burst was above zero (the warm-cache serving
+// path actually amortised compiles). Used by scripts/serve_smoke.sh.
+//
+// Usage: smokecheck load.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// cell is the slice of an hdload cell report smokecheck asserts on.
+type cell struct {
+	Workers      int     `json:"workers"`
+	Skew         float64 `json:"skew"`
+	Mix          string  `json:"mix"`
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Coalesced    uint64  `json:"coalesced"`
+}
+
+// report mirrors the hdload JSON envelope.
+type report struct {
+	Cells []cell `json:"cells"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: smokecheck load.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smokecheck:", err)
+		os.Exit(1)
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		fmt.Fprintln(os.Stderr, "smokecheck:", err)
+		os.Exit(1)
+	}
+	if len(r.Cells) == 0 {
+		fmt.Fprintln(os.Stderr, "smokecheck: no cells in report")
+		os.Exit(1)
+	}
+	failed := false
+	for _, c := range r.Cells {
+		switch {
+		case c.Requests == 0:
+			fmt.Fprintf(os.Stderr, "smokecheck: cell mix=%s skew=%g workers=%d served no requests\n", c.Mix, c.Skew, c.Workers)
+			failed = true
+		case c.Errors > 0:
+			fmt.Fprintf(os.Stderr, "smokecheck: cell mix=%s skew=%g workers=%d had %d non-2xx responses\n", c.Mix, c.Skew, c.Workers, c.Errors)
+			failed = true
+		case c.CacheHitRate <= 0:
+			fmt.Fprintf(os.Stderr, "smokecheck: cell mix=%s skew=%g workers=%d had zero PlanCache hit rate\n", c.Mix, c.Skew, c.Workers)
+			failed = true
+		default:
+			fmt.Printf("smokecheck: mix=%s skew=%g workers=%d ok — %d requests, 0 errors, hit rate %.1f%%, %d coalesced\n",
+				c.Mix, c.Skew, c.Workers, c.Requests, 100*c.CacheHitRate, c.Coalesced)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

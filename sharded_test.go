@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -248,5 +250,66 @@ func TestShardedCancellation(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatalf("sharded execution ignored cancellation")
+	}
+}
+
+// Race-stress for the serving regime: many goroutines run ExecuteSharded
+// over one shared plan and one shared PartitionedDB, a mixer cancels half
+// of them mid-flight, and afterwards the goroutine count must return to
+// baseline — cancelled scatters whose shard calls were queued behind other
+// callers' work must abandon the queue, not leak (see shard.Scatter).
+func TestShardedConcurrentCancelNoLeak(t *testing.T) {
+	q := gen.Cycle(6)
+	db := gen.RandomDatabase(rand.New(rand.NewSource(17)), q, 400, 25)
+	pdb, err := PartitionDatabase(db, 4, HashPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q, WithStrategy(StrategyHypertree), WithShardWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.ExecuteBoolean(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				if (g+i)%2 == 0 {
+					// cancel mid-flight, racing the execution
+					go func() {
+						time.Sleep(time.Duration(i%3) * time.Millisecond)
+						cancel()
+					}()
+				}
+				got, err := plan.ExecuteBooleanSharded(ctx, pdb)
+				switch {
+				case err == nil:
+					if got != want {
+						t.Errorf("sharded verdict %v, want %v", got, want)
+					}
+				case errors.Is(err, context.Canceled):
+					// expected for the cancelled half
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutines leaked: %d alive, baseline %d", n, baseline)
 	}
 }
