@@ -12,7 +12,7 @@
 //
 // -workers, -skew and -mix are comma-separated sweep lists: hdload runs one
 // closed-loop cell per (workers × skew × mix) combination and reports every
-// cell. Before and after each cell it snapshots GET /admin/metrics, so each
+// cell. Before and after each cell it snapshots GET /admin/metrics.json, so
 // cell's report carries the server-side deltas — cache hit rate, coalesced
 // requests, executions — alongside the client-side throughput and latency
 // quantiles (p50/p95/p99). The full report is JSON, written to -json or
@@ -58,7 +58,7 @@ type cellReport struct {
 	P99Micros  float64 `json:"p99_us"`
 	MaxMicros  uint64  `json:"max_us"`
 
-	// Server-side deltas over the cell (from /admin/metrics).
+	// Server-side deltas over the cell (from /admin/metrics.json).
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	Coalesced    uint64  `json:"coalesced"`
 	Executions   uint64  `json:"executions"`
@@ -242,15 +242,16 @@ func postQuery(client *http.Client, base, src string, timeoutMS, maxRows int) bo
 	return resp.StatusCode == http.StatusOK
 }
 
-// fetchMetrics snapshots the server's /admin/metrics.
+// fetchMetrics snapshots the server's /admin/metrics.json (the Prometheus
+// exposition lives on /admin/metrics; hdload wants the typed snapshot).
 func fetchMetrics(client *http.Client, base string) (*serve.Metrics, error) {
-	resp, err := client.Get(base + "/admin/metrics")
+	resp, err := client.Get(base + "/admin/metrics.json")
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("/admin/metrics: status %d", resp.StatusCode)
+		return nil, fmt.Errorf("/admin/metrics.json: status %d", resp.StatusCode)
 	}
 	var m serve.Metrics
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {

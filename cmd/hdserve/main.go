@@ -7,7 +7,7 @@
 //	hdserve [-addr :8080] (-db factsfile | -gen-rows N [-gen-domain D] [-gen-seed S])
 //	        [-cache-size N] [-cache-ttl D] [-max-inflight N]
 //	        [-timeout D] [-max-timeout D] [-step-budget N] [-max-rows N]
-//	        [-portfile PATH] [-drain D]
+//	        [-slowquery-ms N] [-portfile PATH] [-drain D]
 //
 // The database is either a facts file (-db, ground atoms in "r(a,b)." form)
 // or the generated serving workload (-gen-rows, matching gen.ServingPool so
@@ -15,9 +15,14 @@
 // address to a file once the listener is up — scripts that start hdserve on
 // ":0" read it to find the ephemeral port.
 //
-// Endpoints: POST /query (JSON), GET /admin/metrics, GET /admin/explain,
-// GET /healthz. See internal/serve for the request dataflow, in-flight
-// batching and admission control.
+// Endpoints: POST /query (JSON; "trace": true opts into a per-request span
+// summary), GET /admin/metrics (Prometheus text), GET /admin/metrics.json,
+// GET /admin/explain, GET /debug/pprof, GET /healthz. See internal/serve
+// for the request dataflow, in-flight batching and admission control.
+//
+// -slowquery-ms N (0 = off) traces every execution and appends each one
+// that takes N ms or longer as a JSON line to stderr — query, stage
+// timings, plan, and the per-node trace with actual vs estimated rows.
 //
 // SIGTERM/SIGINT drain gracefully: the listener stops accepting, in-flight
 // requests run to completion (bounded by -drain), stragglers are cancelled,
@@ -57,19 +62,20 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 0, "clamp on client-supplied timeouts (0 = 60s)")
 		stepBudget  = flag.Int("step-budget", 0, "decomposition search step budget (0 = default)")
 		maxRows     = flag.Int("max-rows", 0, "max answer rows per response (0 = 1000)")
+		slowQueryMS = flag.Int("slowquery-ms", 0, "log queries at/over this many milliseconds as JSON lines to stderr (0 = off)")
 		portfile    = flag.String("portfile", "", "write the bound listen address to this file once serving")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 	if err := run(*addr, *dbFile, *genRows, *genDomain, *genSeed, *cacheSize, *cacheTTL,
-		*maxInflight, *timeout, *maxTimeout, *stepBudget, *maxRows, *portfile, *drain); err != nil {
+		*maxInflight, *timeout, *maxTimeout, *stepBudget, *maxRows, *slowQueryMS, *portfile, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "hdserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, dbFile string, genRows, genDomain int, genSeed int64, cacheSize int, cacheTTL time.Duration,
-	maxInflight int, timeout, maxTimeout time.Duration, stepBudget, maxRows int, portfile string, drain time.Duration) error {
+	maxInflight int, timeout, maxTimeout time.Duration, stepBudget, maxRows, slowQueryMS int, portfile string, drain time.Duration) error {
 	db, desc, err := loadDatabase(dbFile, genRows, genDomain, genSeed)
 	if err != nil {
 		return err
@@ -85,6 +91,8 @@ func run(addr, dbFile string, genRows, genDomain int, genSeed int64, cacheSize i
 		MaxTimeout:     maxTimeout,
 		StepBudget:     stepBudget,
 		MaxAnswerRows:  maxRows,
+		SlowQuery:      time.Duration(slowQueryMS) * time.Millisecond,
+		SlowQueryLog:   os.Stderr,
 	})
 	if err != nil {
 		return err

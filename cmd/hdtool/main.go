@@ -26,6 +26,10 @@
 //	-explain      print the compiled plan's per-node cost/width report
 //	              (hdtool sees no database, so the report is width-only;
 //	              qeval -stats -explain prices it against real relations)
+//	-analyze      trace the compilation and print the span report: where
+//	              the search time went, and under -strategy auto every race
+//	              entrant with its width and win/lose verdict (hdtool never
+//	              executes; qeval -analyze adds the per-node actual rows)
 //	-parallel N   use N workers for the decomposition search
 //	-budget N     abort after N search steps
 //	-timeout D    abort the search after duration D (e.g. 5s)
@@ -54,6 +58,7 @@ func main() {
 		qw       = flag.Bool("qw", false, "also compute the query width (exponential)")
 		widths   = flag.Bool("widths", false, "print integral, fractional and LP-optimal widths")
 		explain  = flag.Bool("explain", false, "print the plan's per-node cost/width report")
+		analyze  = flag.Bool("analyze", false, "trace the compilation and print the span report")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the search (0 = sequential)")
 		budget   = flag.Int("budget", 0, "abort after this many search steps (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 0, "abort the search after this duration (0 = none)")
@@ -75,13 +80,13 @@ func main() {
 		}
 		name = "ghd"
 	}
-	if err := run(name, *k, *qw, *widths, *explain, *parallel, *budget, *timeout, *dot, *jt, flag.Args()); err != nil {
+	if err := run(name, *k, *qw, *widths, *explain, *analyze, *parallel, *budget, *timeout, *dot, *jt, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hdtool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(strategy string, k int, qw, widths, explain bool, parallel, budget int, timeout time.Duration, dot, printJT bool, args []string) error {
+func run(strategy string, k int, qw, widths, explain, analyze bool, parallel, budget int, timeout time.Duration, dot, printJT bool, args []string) error {
 	opts, err := strategyflag.DecompositionOptions(strategy)
 	if err != nil {
 		return err
@@ -112,6 +117,11 @@ func run(strategy string, k int, qw, widths, explain bool, parallel, budget int,
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+	var trace *hypertree.Trace
+	if analyze {
+		trace = hypertree.NewTrace()
+		ctx = hypertree.ContextWithTrace(ctx, trace)
 	}
 
 	if k > 0 {
@@ -179,6 +189,9 @@ func run(strategy string, k int, qw, widths, explain bool, parallel, budget int,
 	}
 	if explain {
 		fmt.Print(plan.Explain())
+	}
+	if analyze {
+		fmt.Print(trace.Render())
 	}
 	if dot {
 		fmt.Print(hypertree.DOT(d))

@@ -18,18 +18,18 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestRunComputesWidth(t *testing.T) {
 	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
-	if err := run("hd", 0, false, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
+	if err := run("hd", 0, false, false, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBoundedAndParallel(t *testing.T) {
 	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
-	if err := run("hd", 2, false, false, false, 2, 0, 0, false, true, []string{p}); err != nil {
+	if err := run("hd", 2, false, false, false, false, 2, 0, 0, false, true, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 	// k below the width: reports hw > k without error
-	if err := run("hd", 1, false, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
+	if err := run("hd", 1, false, false, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -37,13 +37,13 @@ func TestRunBoundedAndParallel(t *testing.T) {
 func TestRunEveryDecompositionStrategy(t *testing.T) {
 	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
 	for _, s := range []string{"hd", "ghd", "fhd", "auto", "qd"} {
-		if err := run(s, 0, false, true, false, 0, 0, 0, false, false, []string{p}); err != nil {
+		if err := run(s, 0, false, true, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
 			t.Errorf("strategy %s: %v", s, err)
 		}
 	}
 	// a width bound the heuristics cannot reach reports, without error
 	for _, s := range []string{"ghd", "fhd"} {
-		if err := run(s, 1, false, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
+		if err := run(s, 1, false, false, false, false, 0, 0, 0, false, false, []string{p}); err != nil {
 			t.Errorf("strategy %s at k=1: %v", s, err)
 		}
 	}
@@ -51,7 +51,7 @@ func TestRunEveryDecompositionStrategy(t *testing.T) {
 
 func TestRunRejectsUnknownStrategy(t *testing.T) {
 	p := writeTemp(t, `r(X,Y).`)
-	err := run("bogus", 0, false, false, false, 0, 0, 0, false, false, []string{p})
+	err := run("bogus", 0, false, false, false, false, 0, 0, 0, false, false, []string{p})
 	if err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
@@ -64,21 +64,21 @@ func TestRunRejectsUnknownStrategy(t *testing.T) {
 
 func TestRunQueryWidthAndDot(t *testing.T) {
 	p := writeTemp(t, `a(X,Y), b(Y,Z).`)
-	if err := run("hd", 0, true, false, false, 0, 0, 0, true, true, []string{p}); err != nil {
+	if err := run("hd", 0, true, false, false, false, 0, 0, 0, true, true, []string{p}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("hd", 0, false, false, false, 0, 0, 0, false, false, []string{"/does/not/exist"}); err == nil {
+	if err := run("hd", 0, false, false, false, false, 0, 0, 0, false, false, []string{"/does/not/exist"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeTemp(t, `not a query`)
-	if err := run("hd", 0, false, false, false, 0, 0, 0, false, false, []string{bad}); err == nil {
+	if err := run("hd", 0, false, false, false, false, 0, 0, 0, false, false, []string{bad}); err == nil {
 		t.Error("malformed query accepted")
 	}
 	p := writeTemp(t, `r(X).`)
-	if err := run("hd", 0, false, false, false, 0, 0, 0, false, false, []string{p, p}); err == nil {
+	if err := run("hd", 0, false, false, false, false, 0, 0, 0, false, false, []string{p, p}); err == nil {
 		t.Error("two files accepted")
 	}
 }
@@ -86,8 +86,19 @@ func TestRunErrors(t *testing.T) {
 func TestRunExplain(t *testing.T) {
 	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
 	for _, s := range []string{"hd", "ghd", "fhd", "auto"} {
-		if err := run(s, 0, false, false, true, 0, 0, 0, false, false, []string{p}); err != nil {
+		if err := run(s, 0, false, false, true, false, 0, 0, 0, false, false, []string{p}); err != nil {
 			t.Errorf("strategy %s with -explain: %v", s, err)
+		}
+	}
+}
+
+func TestRunAnalyze(t *testing.T) {
+	p := writeTemp(t, `r(X,Y), s(Y,Z), t(Z,X).`)
+	// -analyze renders the compile trace — including, under auto, every
+	// race entrant's span — for each engine.
+	for _, s := range []string{"hd", "auto"} {
+		if err := run(s, 0, false, false, false, true, 0, 0, 0, false, false, []string{p}); err != nil {
+			t.Errorf("strategy %s with -analyze: %v", s, err)
 		}
 	}
 }

@@ -4,7 +4,7 @@
 //
 //	qeval -query queryfile -db factsfile [-db2 factsfile ...]
 //	      [-strategy auto|naive|acyclic|hd|ghd|fhd|qd] [-workers N]
-//	      [-timeout D] [-widths] [-stats] [-explain]
+//	      [-timeout D] [-widths] [-stats] [-explain] [-analyze]
 //	      [-shards N] [-partition hash|rr]
 //
 // The query file holds one rule ("ans(X) :- r(X,Y), s(Y,Z)."); each facts
@@ -27,6 +27,12 @@
 // -explain prints the compiled plan's per-node cost/width report — which
 // relations each λ label joins and what each node is estimated to
 // materialise.
+//
+// -analyze traces compilation and every execution, then prints the EXPLAIN
+// ANALYZE report after each database: per decomposition node the actual
+// materialised cardinality next to the planner's estimate with their
+// q-error, the semijoin/enumeration pass timings, and (under -strategy
+// auto) every race entrant with its win/lose verdict.
 //
 // With -shards N > 0 each database is partitioned N ways (-partition picks
 // hash or round-robin tuple placement) and the plan runs through
@@ -57,17 +63,18 @@ func main() {
 		widths    = flag.Bool("widths", false, "print the compiled plan's width report")
 		useStats  = flag.Bool("stats", false, "collect statistics from the first database and plan cost-based")
 		explain   = flag.Bool("explain", false, "print the compiled plan's per-node cost/width report")
+		analyze   = flag.Bool("analyze", false, "trace the execution and print per-node actual vs estimated rows")
 		shards    = flag.Int("shards", 0, "partition each database N ways and execute sharded (0 = off)")
 		partition = flag.String("partition", "hash", "tuple placement for -shards: hash | rr")
 	)
 	flag.Parse()
-	if err := run(*queryFile, *dbFile, *dbFile2, *strategy, *workers, *timeout, *timing, *widths, *useStats, *explain, *shards, *partition); err != nil {
+	if err := run(*queryFile, *dbFile, *dbFile2, *strategy, *workers, *timeout, *timing, *widths, *useStats, *explain, *analyze, *shards, *partition); err != nil {
 		fmt.Fprintln(os.Stderr, "qeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout time.Duration, timing, widths, useStats, explain bool, shards int, partition string) error {
+func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout time.Duration, timing, widths, useStats, explain, analyze bool, shards int, partition string) error {
 	if queryFile == "" || dbFile == "" {
 		return fmt.Errorf("both -query and -db are required")
 	}
@@ -122,6 +129,11 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	if analyze {
+		// One trace for compile and every execution: the per-database
+		// reports below each scope to their own execution's spans.
+		ctx = hypertree.ContextWithTrace(ctx, hypertree.NewTrace())
+	}
 
 	start := time.Now()
 	plan, err := hypertree.CompileContext(ctx, q, opts...)
@@ -166,6 +178,9 @@ func run(queryFile, dbFile, dbFile2, strategyName string, workers int, timeout t
 		} else {
 			fmt.Printf("%d answers\n", table.Rows())
 			fmt.Println(table.StringWith(db, q.VarName))
+		}
+		if analyze {
+			fmt.Print(plan.ExplainAnalyze())
 		}
 		if timing {
 			fmt.Printf("compiled %s in %v, executed in %v\n", plan, compileTime, elapsed)

@@ -3,6 +3,8 @@ package hypertree
 import (
 	"fmt"
 	"strings"
+
+	"hypertree/internal/obs"
 )
 
 // EstimatedCost returns the plan's total estimated evaluation cost under
@@ -70,6 +72,137 @@ func (p *Plan) Explain() string {
 		visit(p.dec.Root, 0)
 	}
 	return b.String()
+}
+
+// LastTrace returns the trace of the plan's most recent traced execution
+// (Execute under ContextWithTrace, or any execution of a WithTrace plan),
+// or nil when no execution has been traced. Safe for concurrent use.
+func (p *Plan) LastTrace() *Trace {
+	return p.lastTrace.Load()
+}
+
+// ExplainAnalyze renders the EXPLAIN ANALYZE report: the Explain tree with,
+// per decomposition node, the actual materialised cardinality of the most
+// recent traced execution next to the planner's estimate and their q-error
+// — the ground truth Explain alone cannot show — followed by the execution
+// pass timings (semijoin up/down, enumeration) and any compile/race spans
+// the trace holds. Reading it answers the post-mortem questions: which node
+// the cost model mispriced, where the wall-clock went, and whether the race
+// picked the right engine. Without a traced execution it falls back to
+// Explain plus a pointer at how to get one.
+func (p *Plan) ExplainAnalyze() string {
+	tr := p.LastTrace()
+	if tr == nil {
+		return p.Explain() + "  analyze: no traced execution yet — execute under ContextWithTrace, or compile with WithTrace\n"
+	}
+	spans := tr.Spans()
+
+	// Scope the per-node numbers to the most recent execution: the window
+	// from just after the previous SpanExec through the last one (spans
+	// complete in End order, so an execution's spans end before its
+	// SpanExec does).
+	prev, last := -1, -1
+	execs := 0
+	for i, s := range spans {
+		if s.Name == obs.SpanExec {
+			prev, last = last, i
+			execs++
+		}
+	}
+	window := spans
+	if last >= 0 {
+		window = spans[prev+1 : last+1]
+	}
+
+	nodeSpans := map[int]obs.Span{}
+	shardCounts := map[int]int{}
+	var passes []obs.Span
+	var execSpan *obs.Span
+	for _, s := range window {
+		switch s.Name {
+		case obs.SpanNode, obs.SpanNodeSharded:
+			if s.Node >= 0 {
+				nodeSpans[s.Node] = s
+			}
+		case obs.SpanShard:
+			if s.Node >= 0 {
+				shardCounts[s.Node]++
+			}
+		case obs.SpanSemijoinUp, obs.SpanSemijoinDown, obs.SpanEnumerate:
+			passes = append(passes, s)
+		case obs.SpanExec:
+			s := s
+			execSpan = &s
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(p.String())
+	b.WriteString("\n")
+	if execSpan != nil {
+		fmt.Fprintf(&b, "  analyze: %dµs", execSpan.Micros)
+		if execSpan.Rows >= 0 {
+			fmt.Fprintf(&b, ", %d answer rows", execSpan.Rows)
+		}
+		if execs > 1 {
+			fmt.Fprintf(&b, " (latest of %d traced executions)", execs)
+		}
+		b.WriteString("\n")
+	}
+	if p.eval != nil {
+		for _, info := range p.eval.NodeInfos() {
+			indent := strings.Repeat("  ", info.Depth+1)
+			fmt.Fprintf(&b, "%s%s", indent, info.Label)
+			s, ok := nodeSpans[info.ID]
+			switch {
+			case !ok:
+				b.WriteString("  (no span in last traced execution)")
+			case info.EstRows > 0:
+				fmt.Fprintf(&b, "  est=%.4g actual=%d q-err=%.3g rows, %d joins, %dµs",
+					info.EstRows, s.Rows, obs.QError(info.EstRows, s.Rows), s.Steps, s.Micros)
+			default:
+				fmt.Fprintf(&b, "  actual=%d rows (no estimate), %d joins, %dµs", s.Rows, s.Steps, s.Micros)
+			}
+			if n := shardCounts[info.ID]; n > 0 {
+				fmt.Fprintf(&b, " across %d shards", n)
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, s := range passes {
+		fmt.Fprintf(&b, "  %s: %d steps, %dµs", passName(s.Name), s.Steps, s.Micros)
+		if s.Rows >= 0 {
+			fmt.Fprintf(&b, ", %d rows", s.Rows)
+		}
+		b.WriteString("\n")
+	}
+	for _, s := range spans {
+		switch s.Name {
+		case obs.SpanCompile, obs.SpanDecompose, obs.SpanRace:
+			fmt.Fprintf(&b, "  %s: %dµs  %s\n", passName(s.Name), s.Micros, s.Label)
+		}
+	}
+	return b.String()
+}
+
+// passName maps a span name to its report label.
+func passName(name string) string {
+	switch name {
+	case obs.SpanSemijoinUp:
+		return "semijoin up"
+	case obs.SpanSemijoinDown:
+		return "semijoin down"
+	case obs.SpanEnumerate:
+		return "enumerate"
+	case obs.SpanCompile:
+		return "compile"
+	case obs.SpanDecompose:
+		return "decompose"
+	case obs.SpanRace:
+		return "race entrant"
+	default:
+		return name
+	}
 }
 
 // lambdaLabels renders a node's λ edges, each annotated with its fractional

@@ -16,10 +16,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"hypertree/internal/cq"
 	"hypertree/internal/decomp"
+	"hypertree/internal/obs"
 	"hypertree/internal/relation"
 	"hypertree/internal/yannakakis"
 )
@@ -38,7 +40,30 @@ type Evaluator struct {
 	chiElems   map[*decomp.Node][]int
 	edgeRows   []float64              // per-edge cardinality estimates (nil: no statistics)
 	lamOrder   map[*decomp.Node][]int // λ edges in evaluation order (ascending estimate)
+	nodeID     map[*decomp.Node]int   // preorder index over the completed tree
+	infos      []NodeInfo             // per-node identity/estimate, indexed by nodeID
 }
+
+// NodeInfo identifies one node of the evaluator's completed decomposition
+// tree for observability: traces reference nodes by ID, and EXPLAIN ANALYZE
+// renders the tree from these records. IDs are preorder indices over the
+// completed tree — the tree execution actually walks, which the completion
+// (Lemma 4.4) may have extended beyond the decomposition the plan reports.
+type NodeInfo struct {
+	// ID is the node's preorder index; span Node fields carry it.
+	ID int
+	// Depth is the node's depth under the root (root = 0), for indenting.
+	Depth int
+	// Label renders the node's χ and λ ("χ{X,Y} λ{r,s}").
+	Label string
+	// EstRows is the planner's estimated cardinality of the node table
+	// (0 when the plan carries no statistics).
+	EstRows float64
+}
+
+// NodeInfos returns the completed tree's node records in preorder. The
+// slice is shared and must not be mutated.
+func (e *Evaluator) NodeInfos() []NodeInfo { return e.infos }
 
 // NewEvaluator analyses q and completes hd once, returning the reusable
 // evaluation skeleton. The head variables are validated here, so execution
@@ -96,7 +121,34 @@ func NewEvaluatorStats(q *cq.Query, hd *decomp.Decomposition, edgeRows []float64
 			})
 		}
 	}
+	// Node identity for tracing: preorder over the final (post-reorder)
+	// tree, so span Node fields and EXPLAIN ANALYZE agree on which node is
+	// which forever after.
+	e.nodeID = map[*decomp.Node]int{}
+	var index func(n *decomp.Node, depth int)
+	index = func(n *decomp.Node, depth int) {
+		e.nodeID[n] = len(e.infos)
+		e.infos = append(e.infos, NodeInfo{
+			ID:      len(e.infos),
+			Depth:   depth,
+			Label:   e.nodeLabel(n),
+			EstRows: n.EstRows,
+		})
+		for _, c := range n.Children {
+			index(c, depth+1)
+		}
+	}
+	if complete.Root != nil {
+		index(complete.Root, 0)
+	}
 	return e, nil
+}
+
+// nodeLabel renders a node's χ and λ sets by name.
+func (e *Evaluator) nodeLabel(n *decomp.Node) string {
+	return fmt.Sprintf("χ{%s} λ{%s}",
+		strings.Join(e.HD.H.VertexNames(n.Chi), ","),
+		strings.Join(e.HD.H.EdgeNames(n.Lambda), ","))
 }
 
 // orderLambda returns n's λ edges in evaluation order: ascending estimated
@@ -146,7 +198,7 @@ func (e *Evaluator) RootWorkers(ctx context.Context, db *relation.Database, work
 		return &yannakakis.Node{Table: t}, nil
 	}
 
-	b := &rootBuilder{ctx: ctx, db: db, e: e, atomTables: map[int]*relation.Table{}}
+	b := &rootBuilder{ctx: ctx, db: db, e: e, tr: obs.FromContext(ctx), atomTables: map[int]*relation.Table{}}
 	var root *yannakakis.Node
 	var err error
 	if workers <= 1 {
@@ -179,6 +231,7 @@ type rootBuilder struct {
 	ctx context.Context
 	db  *relation.Database
 	e   *Evaluator
+	tr  *obs.Trace // nil when the context carries no trace
 	sem chan struct{}
 
 	mu         sync.Mutex
@@ -208,8 +261,10 @@ func (b *rootBuilder) bind(e2 int) (*relation.Table, error) {
 
 // materialize joins the λ relations of n — in the evaluator's precomputed
 // order, i.e. ascending estimated cardinality when statistics are attached
-// — and projects to χ.
+// — and projects to χ. Under a traced context the build is recorded as one
+// SpanNode carrying the join count and the actual vs estimated cardinality.
 func (b *rootBuilder) materialize(n *decomp.Node) (*relation.Table, error) {
+	sp := b.tr.StartSpan(obs.SpanNode)
 	var joined *relation.Table
 	for _, e2 := range b.e.lamOrder[n] {
 		t, err := b.bind(e2)
@@ -220,12 +275,21 @@ func (b *rootBuilder) materialize(n *decomp.Node) (*relation.Table, error) {
 			joined = t
 		} else {
 			joined = joined.Join(t)
+			sp.AddSteps(1)
 		}
 	}
 	if joined == nil {
 		return nil, fmt.Errorf("hdeval: decomposition node with empty λ")
 	}
-	return joined.Project(b.e.chiElems[n]), nil
+	out := joined.Project(b.e.chiElems[n])
+	if id, ok := b.e.nodeID[n]; ok {
+		sp.SetNode(id)
+		sp.SetLabel(b.e.infos[id].Label)
+	}
+	sp.SetEst(n.EstRows)
+	sp.SetRows(out.Rows())
+	sp.End()
+	return out, nil
 }
 
 func (b *rootBuilder) buildSeq(n *decomp.Node) (*yannakakis.Node, error) {

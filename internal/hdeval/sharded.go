@@ -6,6 +6,7 @@ import (
 
 	"hypertree/internal/cq"
 	"hypertree/internal/decomp"
+	"hypertree/internal/obs"
 	"hypertree/internal/relation"
 	"hypertree/internal/shard"
 	"hypertree/internal/yannakakis"
@@ -46,7 +47,10 @@ func (e *Evaluator) RootSharded(ctx context.Context, p *shard.PartitionedDB, sha
 		p:       p,
 		e:       e,
 		workers: shardWorkers,
-		full:    &rootBuilder{ctx: ctx, db: p.Assembled(), e: e, atomTables: map[int]*relation.Table{}},
+		tr:      obs.FromContext(ctx),
+		// The embedded assembled-view builder binds atoms only (never
+		// materialize), so it records no node spans of its own.
+		full: &rootBuilder{ctx: ctx, db: p.Assembled(), e: e, atomTables: map[int]*relation.Table{}},
 	}
 	root, err := b.build(e.HD.Root)
 	if err != nil {
@@ -71,6 +75,7 @@ type shardedBuilder struct {
 	p       *shard.PartitionedDB
 	e       *Evaluator
 	workers int
+	tr      *obs.Trace   // nil when the context carries no trace
 	full    *rootBuilder // assembled-view binder + memo
 }
 
@@ -107,8 +112,11 @@ func (b *shardedBuilder) build(n *decomp.Node) (*yannakakis.Node, error) {
 }
 
 // materializeSharded computes the χ-projection of node n's λ-join by
-// scatter-gather over the shards.
+// scatter-gather over the shards. Under a traced context the whole build is
+// one SpanNodeSharded (join steps, actual vs estimated rows), each shard
+// task records a SpanShard, and the deterministic merge a SpanMerge.
 func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, error) {
+	sp := b.tr.StartSpan(obs.SpanNodeSharded)
 	// λ in the evaluator's order: ascending estimated cardinality when the
 	// plan carries statistics, input order otherwise — so the broadcast-side
 	// JoinIndex chain probes the most selective relations first, exactly as
@@ -147,8 +155,14 @@ func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, er
 		curVars = idx.OutVars()
 	}
 	chi := b.e.chiElems[n]
+	nodeIdx, hasID := b.e.nodeID[n]
 	parts, err := shard.Scatter(b.ctx, b.p, b.workers,
 		func(ctx context.Context, i int, db *relation.Database) (*relation.Table, error) {
+			ssp := b.tr.StartSpan(obs.SpanShard)
+			ssp.SetShard(i)
+			if hasID {
+				ssp.SetNode(nodeIdx)
+			}
 			frag, err := yannakakis.BindAtom(db, b.e.Q, b.e.edgeToAtom[pivot])
 			if err != nil {
 				return nil, err
@@ -159,8 +173,12 @@ func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, er
 					return nil, err
 				}
 				t = t.JoinOn(idx)
+				ssp.AddSteps(1)
 			}
-			return t.Project(chi), nil
+			out := t.Project(chi)
+			ssp.SetRows(out.Rows())
+			ssp.End()
+			return out, nil
 		})
 	if err != nil {
 		return nil, err
@@ -170,10 +188,29 @@ func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, er
 	// long as the χ-projection keeps every pivot column — then the merge is
 	// a plain concatenation. A χ that drops pivot columns can collide
 	// across shards and takes the deduplicating union.
-	if containsAll(chi, pivotVars) {
-		return relation.Concat(parts...), nil
+	msp := b.tr.StartSpan(obs.SpanMerge)
+	if hasID {
+		msp.SetNode(nodeIdx)
 	}
-	return relation.Union(parts...), nil
+	var merged *relation.Table
+	if containsAll(chi, pivotVars) {
+		merged = relation.Concat(parts...)
+		msp.SetLabel("concat")
+	} else {
+		merged = relation.Union(parts...)
+		msp.SetLabel("union")
+	}
+	msp.SetRows(merged.Rows())
+	msp.End()
+	if hasID {
+		sp.SetNode(nodeIdx)
+		sp.SetLabel(b.e.infos[nodeIdx].Label)
+	}
+	sp.AddSteps(int64(len(chain)))
+	sp.SetEst(n.EstRows)
+	sp.SetRows(merged.Rows())
+	sp.End()
+	return merged, nil
 }
 
 // rowsOf returns the total tuple count backing edge e2's atom.

@@ -1,0 +1,329 @@
+// Package obs is the execution tracer behind EXPLAIN ANALYZE, the serving
+// metrics and the slow-query log: a low-overhead, concurrency-safe span
+// collector threaded through every layer of a query's life.
+//
+// A Trace accumulates Spans — one per traced stage: compile, decomposition,
+// each race entrant, per-node λ-join materialisation, semijoin passes,
+// enumeration, sharded scatter-gather. Each span records wall time, step
+// counts and the actual output cardinality alongside the planner's estimate,
+// which is what makes cost-model errors observable (Plan.ExplainAnalyze
+// renders the comparison; the per-node q-errors feed the QErrorTable that
+// adaptive re-planning will consume).
+//
+// The tracer is built to cost nothing when off and almost nothing when on:
+//
+//   - Every method on *Trace and *Span is nil-safe, so instrumented code
+//     calls them unconditionally; with no trace attached a span is a nil
+//     pointer and every call is an inlineable nil check — no clock reads, no
+//     allocation, no locks.
+//   - A live span is owned by the goroutine that started it until End, which
+//     appends a value copy to the trace under its mutex. Readers (Spans,
+//     Render) therefore only ever observe completed spans — there is no
+//     torn-read window, and tracing parallel per-node materialisation or a
+//     sharded scatter needs no coordination beyond each span's own End.
+//   - AddSteps is atomic, so several goroutines may bump one span's step
+//     counter concurrently (the parallel reducer does); all AddSteps calls
+//     must still happen-before End, which every structured fork/join in this
+//     codebase provides via its WaitGroup.
+//
+// Traces travel by context (NewContext / FromContext): the serving layer
+// injects a per-request trace without touching its shared compile options,
+// which keeps PlanCache keys — and therefore cache hit rates — identical
+// with tracing on or off.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span names, forming the trace taxonomy. The hierarchy is by convention
+// ("a/b" is a sub-stage of "a"); matching on these constants is how
+// renderers and tests pick stages out of a trace.
+const (
+	// SpanParse covers query-text parsing (recorded by CLIs and the server;
+	// the library compiles already-parsed queries).
+	SpanParse = "compile/parse"
+	// SpanCompile covers one whole Compile: analysis, decomposition search,
+	// validation, cost annotation, evaluator construction.
+	SpanCompile = "compile"
+	// SpanDecompose covers the decomposition search of a single chosen
+	// engine (no race); Label names the decomposer.
+	SpanDecompose = "compile/decompose"
+	// SpanRace covers one entrant of the WithAutoStrategy race; Label names
+	// the engine and reports its width/cost and win/lose verdict.
+	SpanRace = "compile/race"
+	// SpanExec covers one whole Execute; Rows is the answer cardinality.
+	SpanExec = "exec"
+	// SpanNode covers one decomposition node's λ-join materialisation
+	// (single-database path): Node identifies the node, Steps counts binary
+	// joins, Rows the materialised χ-table cardinality, EstRows the
+	// planner's estimate for the same table.
+	SpanNode = "exec/node"
+	// SpanNodeSharded covers one node's scatter-gather materialisation
+	// (partitioned path), with the same Node/Steps/Rows/EstRows meaning as
+	// SpanNode; its per-shard work appears as SpanShard children.
+	SpanNodeSharded = "exec/node/sharded"
+	// SpanShard covers one shard's bind+probe+project task inside a
+	// SpanNodeSharded; Shard identifies the shard, Rows its partial table.
+	SpanShard = "exec/node/shard"
+	// SpanMerge covers the deterministic merge of per-shard partial tables;
+	// Rows is the merged cardinality.
+	SpanMerge = "exec/node/merge"
+	// SpanSemijoinUp covers the bottom-up semijoin pass; Steps counts
+	// semijoins.
+	SpanSemijoinUp = "exec/semijoin/up"
+	// SpanSemijoinDown covers the top-down semijoin pass; Steps counts
+	// semijoins.
+	SpanSemijoinDown = "exec/semijoin/down"
+	// SpanEnumerate covers the bottom-up joining enumeration after full
+	// reduction; Rows is the enumerated (pre-head-projection) cardinality.
+	SpanEnumerate = "exec/enumerate"
+)
+
+// A Trace collects the spans of one traced query (or of several executions,
+// if the caller reuses it). Create with New, attach to a context with
+// NewContext, read with Spans or Render. All methods are safe for concurrent
+// use and nil-safe: a nil *Trace swallows everything at the cost of a
+// pointer test.
+type Trace struct {
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// New returns an empty trace; span start offsets count from this moment.
+func New() *Trace { return &Trace{start: time.Now()} }
+
+// StartSpan opens a span named name. The returned span is exclusively owned
+// by the caller until End publishes it to the trace; on a nil trace it
+// returns nil, which every span method accepts.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Span{
+		Name:        name,
+		Node:        -1,
+		Shard:       -1,
+		Rows:        -1,
+		StartMicros: now.Sub(t.start).Microseconds(),
+		t:           t,
+		begun:       now,
+	}
+}
+
+// Spans returns a point-in-time copy of the completed spans, in completion
+// order. In-progress spans are invisible until their End.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		out[i].t = nil
+	}
+	return out
+}
+
+// Len returns the number of completed spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Render formats the completed spans as an aligned report, sorted by start
+// offset: name, label, node/shard identity, wall time, steps, actual vs
+// estimated rows and the per-span q-error. An empty trace renders a single
+// explanatory line.
+func (t *Trace) Render() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return "trace: no spans recorded\n"
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartMicros < spans[j].StartMicros })
+	var b strings.Builder
+	b.WriteString("trace:\n")
+	for _, s := range spans {
+		fmt.Fprintf(&b, "  %-22s %8dµs", s.Name, s.Micros)
+		if s.Node >= 0 {
+			fmt.Fprintf(&b, " node=%d", s.Node)
+		}
+		if s.Shard >= 0 {
+			fmt.Fprintf(&b, " shard=%d", s.Shard)
+		}
+		if s.Steps > 0 {
+			fmt.Fprintf(&b, " steps=%d", s.Steps)
+		}
+		if s.Rows >= 0 {
+			fmt.Fprintf(&b, " rows=%d", s.Rows)
+		}
+		if s.EstRows > 0 {
+			fmt.Fprintf(&b, " est=%.4g", s.EstRows)
+			if s.Rows >= 0 {
+				fmt.Fprintf(&b, " q-err=%.3g", QError(s.EstRows, s.Rows))
+			}
+		}
+		if s.Label != "" {
+			fmt.Fprintf(&b, "  %s", s.Label)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// A Span is one traced stage. The exported fields are the record readers
+// consume (via Trace.Spans); a live span's fields are written through the
+// setters only, and the span is published to its trace by End.
+type Span struct {
+	// Name is the stage, one of the Span* constants.
+	Name string
+	// Label carries free-form stage detail (decomposer name, node χ/λ
+	// rendering, win/lose verdict).
+	Label string
+	// Node is the preorder index of the decomposition node this span
+	// belongs to over the evaluator's completed tree, or -1.
+	Node int
+	// Shard is the shard index of a SpanShard, or -1.
+	Shard int
+	// StartMicros is the span's start offset from the trace's creation.
+	StartMicros int64
+	// Micros is the span's wall-clock duration.
+	Micros int64
+	// Steps counts the stage's unit operations (binary joins, semijoins).
+	Steps int64
+	// Rows is the actual output cardinality, or -1 when the stage has none.
+	Rows int64
+	// EstRows is the planner's cardinality estimate for the same output, 0
+	// when the plan carries no statistics.
+	EstRows float64
+
+	t     *Trace
+	begun time.Time
+}
+
+// SetLabel attaches free-form detail to the span.
+func (s *Span) SetLabel(l string) {
+	if s != nil {
+		s.Label = l
+	}
+}
+
+// SetNode records the decomposition-node identity (preorder index over the
+// evaluator's completed tree).
+func (s *Span) SetNode(id int) {
+	if s != nil {
+		s.Node = id
+	}
+}
+
+// SetShard records the shard index.
+func (s *Span) SetShard(i int) {
+	if s != nil {
+		s.Shard = i
+	}
+}
+
+// SetRows records the actual output cardinality.
+func (s *Span) SetRows(n int) {
+	if s != nil {
+		s.Rows = int64(n)
+	}
+}
+
+// SetEst records the planner's cardinality estimate.
+func (s *Span) SetEst(est float64) {
+	if s != nil {
+		s.EstRows = est
+	}
+}
+
+// AddSteps adds n unit operations to the span's step counter. It is atomic,
+// so concurrent goroutines may share one span's counter; every AddSteps must
+// still happen-before the span's End (a fork/join WaitGroup provides this).
+func (s *Span) AddSteps(n int64) {
+	if s != nil {
+		atomic.AddInt64(&s.Steps, n)
+	}
+}
+
+// End stamps the span's duration and publishes a copy to its trace. A
+// second End (or End on a nil or snapshot span) is a no-op.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.Micros = time.Since(s.begun).Microseconds()
+	t := s.t
+	s.t = nil
+	t.mu.Lock()
+	t.spans = append(t.spans, *s)
+	t.mu.Unlock()
+}
+
+// Observe appends a caller-assembled span to the trace. It is the escape
+// hatch for stages whose verdict is only known after their clock stops —
+// the strategy race times every entrant concurrently but can label
+// win/lose only once all entrants have reported — at the price of the
+// caller supplying its own timings (see OffsetMicros).
+func (t *Trace) Observe(s Span) {
+	if t == nil {
+		return
+	}
+	s.t = nil
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// OffsetMicros converts an absolute time to a span start offset (the
+// StartMicros convention) on this trace's clock; 0 on a nil trace.
+func (t *Trace) OffsetMicros(at time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	return at.Sub(t.start).Microseconds()
+}
+
+// ctxKey is the context key traces travel under.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t; a nil trace returns ctx unchanged, so
+// callers can thread an optional trace without branching.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil — and nil is a valid
+// Trace receiver, so instrumented code uses the result unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// QError is the symmetric relative error of a cardinality estimate:
+// max(est/actual, actual/est), both sides clamped to ≥ 1 so empty outputs
+// and missing estimates stay finite. 1 is a perfect estimate.
+func QError(est float64, actual int64) float64 {
+	e := math.Max(est, 1)
+	a := math.Max(float64(actual), 1)
+	return math.Max(e/a, a/e)
+}

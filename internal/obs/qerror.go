@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// defaultQErrorCap bounds the process-wide feedback table: one entry per
+// (statistics fingerprint, node label) pair, so a serving daemon with a
+// stable statistics snapshot holds one entry per distinct plan node it ever
+// executed. New keys past the cap are dropped — feedback is advisory, and a
+// bounded table can never become the leak.
+const defaultQErrorCap = 4096
+
+// A QErrorEntry accumulates the estimation feedback of one decomposition
+// node under one statistics snapshot: how often it was executed and how far
+// the planner's cardinality estimate sat from the materialised truth.
+type QErrorEntry struct {
+	// Fingerprint identifies the statistics snapshot the estimate was
+	// priced against (Stats.Fingerprint; "" without statistics).
+	Fingerprint string
+	// Node labels the decomposition node (its χ/λ rendering).
+	Node string
+	// Count is the number of recorded executions.
+	Count int64
+	// MaxQ and MeanQ summarise the observed q-errors.
+	MaxQ  float64
+	MeanQ float64
+	// LastEst and LastRows are the most recent estimate/actual pair.
+	LastEst  float64
+	LastRows int64
+
+	sumQ float64
+}
+
+// qKey identifies one feedback slot.
+type qKey struct {
+	fingerprint string
+	node        string
+}
+
+// A QErrorTable is a bounded, concurrency-safe feedback table keyed by
+// (statistics fingerprint, node label). It is the seam between execution
+// tracing and adaptive re-planning: execution records what each node
+// actually materialised, a future re-planner reads where the cost model is
+// systematically wrong. The zero value is unusable; use NewQErrorTable, or
+// the package-level default table behind RecordQError/QErrorReport.
+type QErrorTable struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[qKey]*QErrorEntry
+}
+
+// NewQErrorTable returns an empty table holding at most capacity entries
+// (capacity ≤ 0 selects the package default).
+func NewQErrorTable(capacity int) *QErrorTable {
+	if capacity <= 0 {
+		capacity = defaultQErrorCap
+	}
+	return &QErrorTable{cap: capacity, entries: map[qKey]*QErrorEntry{}}
+}
+
+// Record folds one (estimate, actual) observation for the node under the
+// given statistics fingerprint into the table. New keys are dropped once the
+// table is full.
+func (t *QErrorTable) Record(fingerprint, node string, est float64, rows int64) {
+	if t == nil {
+		return
+	}
+	q := QError(est, rows)
+	k := qKey{fingerprint: fingerprint, node: node}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[k]
+	if !ok {
+		if len(t.entries) >= t.cap {
+			return
+		}
+		e = &QErrorEntry{Fingerprint: fingerprint, Node: node}
+		t.entries[k] = e
+	}
+	e.Count++
+	e.sumQ += q
+	e.MeanQ = e.sumQ / float64(e.Count)
+	if q > e.MaxQ {
+		e.MaxQ = q
+	}
+	e.LastEst = est
+	e.LastRows = rows
+}
+
+// Report returns a copy of every entry, worst MaxQ first (ties to the more
+// executed node) — the reading order of an operator hunting for the cost
+// model's blind spots.
+func (t *QErrorTable) Report() []QErrorEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]QErrorEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxQ != out[j].MaxQ {
+			return out[i].MaxQ > out[j].MaxQ
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Fingerprint != out[j].Fingerprint {
+			return out[i].Fingerprint < out[j].Fingerprint
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Len returns the number of entries.
+func (t *QErrorTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Reset empties the table.
+func (t *QErrorTable) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.entries = map[qKey]*QErrorEntry{}
+	t.mu.Unlock()
+}
+
+// defaultQErrors is the process-wide feedback table traced executions
+// record into.
+var defaultQErrors = NewQErrorTable(0)
+
+// RecordQError records one observation into the process-wide feedback
+// table (see QErrorTable.Record).
+func RecordQError(fingerprint, node string, est float64, rows int64) {
+	defaultQErrors.Record(fingerprint, node, est, rows)
+}
+
+// QErrorReport returns the process-wide feedback table's entries, worst
+// q-error first — the seam adaptive re-planning consumes.
+func QErrorReport() []QErrorEntry { return defaultQErrors.Report() }
+
+// ResetQErrors empties the process-wide feedback table (tests and
+// statistics refreshes).
+func ResetQErrors() { defaultQErrors.Reset() }

@@ -7,8 +7,9 @@ import (
 )
 
 // histBuckets is the number of log₂ microsecond buckets a Histogram keeps:
-// bucket i counts observations in [2^i, 2^(i+1)) µs, so 40 buckets span
-// sub-microsecond to ~12-day latencies — every request a daemon can see.
+// bucket 0 counts observations in [0, 2) µs and bucket i ≥ 1 counts
+// [2^i, 2^(i+1)) µs, so 40 buckets span sub-microsecond to ~12-day
+// latencies — every request a daemon can see.
 const histBuckets = 40
 
 // A Histogram is a fixed-bucket log₂ latency histogram: cheap to observe
@@ -43,27 +44,56 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Unlock()
 }
 
+// Merge folds every observation recorded in o into h (counts, sum and max;
+// quantiles of the merged histogram are exact at bucket resolution, which
+// is what makes per-shard or per-replica histograms aggregatable). A nil or
+// self merge is a no-op. Safe for concurrent use on both histograms.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	o.mu.Lock()
+	counts, count, sum, max := o.counts, o.count, o.sum, o.max
+	o.mu.Unlock()
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.count += count
+	h.sum += sum
+	if max > h.max {
+		h.max = max
+	}
+	h.mu.Unlock()
+}
+
 // HistogramSnapshot is a point-in-time export of a Histogram: the moment
 // statistics plus bucket-estimated latency percentiles, all in microseconds.
-// Percentile estimates carry the histogram's factor-of-two bucket
-// resolution (each reports the geometric midpoint of its bucket).
+// Percentile estimates interpolate linearly within their log₂ bucket (the
+// histogram_quantile convention), so their error is bounded by the bucket
+// width, and the per-bucket counts themselves are exported for consumers
+// that want cumulative (Prometheus-style) buckets.
 type HistogramSnapshot struct {
-	Count      uint64  `json:"count"`
-	MeanMicros float64 `json:"mean_us"`
-	MaxMicros  uint64  `json:"max_us"`
-	P50Micros  float64 `json:"p50_us"`
-	P95Micros  float64 `json:"p95_us"`
-	P99Micros  float64 `json:"p99_us"`
+	Count      uint64   `json:"count"`
+	SumMicros  uint64   `json:"sum_us"`
+	MeanMicros float64  `json:"mean_us"`
+	MaxMicros  uint64   `json:"max_us"`
+	P50Micros  float64  `json:"p50_us"`
+	P95Micros  float64  `json:"p95_us"`
+	P99Micros  float64  `json:"p99_us"`
+	Buckets    []uint64 `json:"buckets,omitempty"`
 }
 
 // Snapshot returns a consistent point-in-time export of the histogram.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.count, MaxMicros: h.max}
+	s := HistogramSnapshot{Count: h.count, SumMicros: h.sum, MaxMicros: h.max}
 	if h.count == 0 {
 		return s
 	}
+	s.Buckets = make([]uint64, histBuckets)
+	copy(s.Buckets, h.counts[:])
 	s.MeanMicros = float64(h.sum) / float64(h.count)
 	s.P50Micros = h.quantileLocked(0.50)
 	s.P95Micros = h.quantileLocked(0.95)
@@ -71,29 +101,36 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// quantileLocked estimates the q-quantile from the buckets: the geometric
-// midpoint of the bucket holding the q·count-th observation. Callers hold
-// h.mu and have checked count > 0.
+// quantileLocked estimates the q-quantile from the buckets by linear
+// interpolation within the bucket holding the q·count-th observation:
+// assuming the bucket's mass is uniform over [lo, hi), the estimate is
+// lo + (hi−lo)·(rank of the target within the bucket)/(bucket count),
+// clamped to the largest observation so a lone tail sample cannot report a
+// quantile beyond anything actually seen. Callers hold h.mu and have
+// checked count > 0.
 func (h *Histogram) quantileLocked(q float64) float64 {
-	target := uint64(math.Ceil(q * float64(h.count)))
+	target := math.Ceil(q * float64(h.count))
 	if target < 1 {
 		target = 1
 	}
-	cum := uint64(0)
+	cum := 0.0
 	for b, c := range h.counts {
-		cum += c
-		if cum >= target {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= target {
 			lo := float64(uint64(1) << b) // bucket lower edge, 2^b µs
 			if b == 0 {
 				lo = 0
 			}
 			hi := float64(uint64(1) << (b + 1))
-			mid := math.Sqrt((lo + 1) * hi) // geometric midpoint, guarded at 0
-			if capped := float64(h.max); mid > capped {
-				mid = capped
+			v := lo + (hi-lo)*(target-cum)/float64(c)
+			if capped := float64(h.max); v > capped {
+				v = capped
 			}
-			return mid
+			return v
 		}
+		cum += float64(c)
 	}
 	return float64(h.max)
 }

@@ -24,9 +24,15 @@
 // additionally runs under StepBudget, so adversarial queries cannot pin a
 // worker on an NP-hard search.
 //
-// An admin surface (GET /admin/metrics, GET /admin/explain, GET /healthz)
-// exports the PlanCache counters, per-route latency histograms,
-// request/error/coalesce counters and compiled-plan reports.
+// An admin surface exports the serving state: GET /admin/metrics serves the
+// counters, gauges and log₂ latency histograms (per route and per pipeline
+// stage) in the Prometheus text exposition format, GET /admin/metrics.json
+// the same snapshot as JSON, GET /admin/explain compiled-plan reports, GET
+// /healthz liveness, and /debug/pprof the standard Go profiles. Per-request
+// observability is opt-in: a /query request with "trace": true receives the
+// span summary of its execution (see QueryRequest.Trace), and a configured
+// slow-query threshold appends every slow execution — with its trace — as
+// one JSON line to the slow-query log.
 //
 // Graceful drain: the Server is carried by a standard *http.Server, so
 // SIGTERM handling is http.Server.Shutdown — in-flight requests run to
@@ -40,7 +46,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -84,6 +93,16 @@ type Config struct {
 	// MaxAnswerRows caps the rows marshalled into one response; the full
 	// count is always reported and truncation is flagged (≤ 0: 1000).
 	MaxAnswerRows int
+	// SlowQuery is the slow-query threshold: every /query execution whose
+	// compile+execute wall time reaches it is appended as one JSON line —
+	// with its execution trace — to SlowQueryLog (0: logging off). With a
+	// threshold set, every execution is traced, so the log line can name
+	// the node where the time went.
+	SlowQuery time.Duration
+	// SlowQueryLog receives the slow-query JSON lines (nil with SlowQuery
+	// set: os.Stderr). The Server serialises writes; each line is one
+	// self-contained JSON object.
+	SlowQueryLog io.Writer
 }
 
 // withDefaults resolves every unset Config field.
@@ -105,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAnswerRows <= 0 {
 		c.MaxAnswerRows = 1000
+	}
+	if c.SlowQuery > 0 && c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
 	}
 	return c
 }
@@ -129,14 +151,18 @@ type Server struct {
 	mu     sync.Mutex
 	flight map[string]*flightCall
 
-	requests   atomic.Uint64 // /query requests received
-	errors     atomic.Uint64 // /query non-2xx responses
-	rejected   atomic.Uint64 // admission 503s (also counted in errors)
-	executions atomic.Uint64 // plan executions actually run (leaders)
-	coalesced  atomic.Uint64 // requests served by joining an in-flight twin
+	requests    atomic.Uint64 // /query requests received
+	errors      atomic.Uint64 // /query non-2xx responses
+	rejected    atomic.Uint64 // admission 503s (also counted in errors)
+	executions  atomic.Uint64 // plan executions actually run (leaders)
+	coalesced   atomic.Uint64 // requests served by joining an in-flight twin
+	slowQueries atomic.Uint64 // executions at/over the slow-query threshold
 
 	histMu sync.Mutex
-	hists  map[string]*Histogram
+	hists  map[string]*Histogram // per-route request latency
+	stages map[string]*Histogram // per-stage (compile, execute) latency
+
+	slowMu sync.Mutex // serialises slow-query log lines
 
 	// testExecGate, when set (tests only), runs on the leader goroutine
 	// after admission and before compile+execute — the hook drain and
@@ -160,6 +186,7 @@ type flightResult struct {
 	boolean       bool // table is the 0/1-row rendering of a Boolean verdict
 	compileMicros int64
 	execMicros    int64
+	trace         *hypertree.Trace // non-nil when the leader traced
 	err           error
 }
 
@@ -186,6 +213,7 @@ func New(cfg Config) (*Server, error) {
 		sem:       make(chan struct{}, cfg.MaxInflight),
 		flight:    map[string]*flightCall{},
 		hists:     map[string]*Histogram{},
+		stages:    map[string]*Histogram{},
 	}
 	// One option slice for every request: identical options (and one stats
 	// fingerprint) mean every α-equivalent query shares one cache slot.
@@ -207,15 +235,23 @@ func (s *Server) Cache() *hypertree.PlanCache { return s.cache }
 
 // Handler returns the Server's HTTP surface:
 //
-//	POST /query          evaluate a conjunctive query (JSON in/out)
-//	GET  /admin/metrics  cache/request/latency counters (JSON)
-//	GET  /admin/explain  compiled-plan report for ?query=... (text)
-//	GET  /healthz        liveness
+//	POST /query               evaluate a conjunctive query (JSON in/out)
+//	GET  /admin/metrics       counters and latency histograms (Prometheus text)
+//	GET  /admin/metrics.json  the same snapshot as JSON
+//	GET  /admin/explain       compiled-plan report for ?query=... (text)
+//	GET  /debug/pprof/...     the standard Go profiles
+//	GET  /healthz             liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /admin/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /admin/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /admin/explain", s.handleExplain)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -234,6 +270,13 @@ type QueryRequest struct {
 	// MaxRows caps the answer rows marshalled into the response, below the
 	// server-wide cap (0: the server-wide cap alone).
 	MaxRows int `json:"max_rows,omitempty"`
+	// Trace opts this request into execution tracing: the response carries
+	// the span summary of the compile and execution that served it. A
+	// coalesced request reports its leader's trace when the leader traced
+	// (always the case once the server's slow-query log is enabled) and no
+	// trace otherwise — tracing is decided by the flight leader, since the
+	// execution is shared.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the POST /query result.
@@ -267,6 +310,65 @@ type QueryResponse struct {
 	// cache hit) and execution.
 	CompileMicros int64 `json:"compile_us"`
 	ExecMicros    int64 `json:"exec_us"`
+	// Trace is the span summary of the execution that served this request,
+	// present only when the request set "trace": true and the flight leader
+	// recorded one.
+	Trace []SpanSummary `json:"trace,omitempty"`
+}
+
+// A SpanSummary is one trace span rendered for JSON consumers: the /query
+// "trace": true response and the slow-query log. Node and Shard are -1 when
+// the span has no node/shard identity, Rows is -1 when the stage emits no
+// cardinality, and QError is reported only where an estimate exists to
+// compare against (see the span taxonomy in docs/ARCHITECTURE.md).
+type SpanSummary struct {
+	// Name is the stage (e.g. "compile", "exec/node", "exec/node/shard").
+	Name string `json:"name"`
+	// Label carries free-form stage detail (decomposer names, χ/λ labels,
+	// race verdicts).
+	Label string `json:"label,omitempty"`
+	// Node is the decomposition-node preorder index, or -1.
+	Node int `json:"node"`
+	// Shard is the shard index, or -1.
+	Shard int `json:"shard"`
+	// Micros is the span's wall-clock duration.
+	Micros int64 `json:"us"`
+	// Steps counts the stage's unit operations (joins, semijoins).
+	Steps int64 `json:"steps,omitempty"`
+	// Rows is the actual output cardinality, or -1.
+	Rows int64 `json:"rows"`
+	// EstRows is the planner's estimate for the same output, 0 without
+	// statistics.
+	EstRows float64 `json:"est_rows,omitempty"`
+	// QError is max(est/actual, actual/est) where both sides exist.
+	QError float64 `json:"q_error,omitempty"`
+}
+
+// summarizeTrace renders a trace's completed spans as SpanSummary records;
+// nil on a nil or empty trace.
+func summarizeTrace(t *hypertree.Trace) []SpanSummary {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanSummary, 0, len(spans))
+	for _, sp := range spans {
+		ss := SpanSummary{
+			Name:    sp.Name,
+			Label:   sp.Label,
+			Node:    sp.Node,
+			Shard:   sp.Shard,
+			Micros:  sp.Micros,
+			Steps:   sp.Steps,
+			Rows:    sp.Rows,
+			EstRows: sp.EstRows,
+		}
+		if sp.EstRows > 0 && sp.Rows >= 0 {
+			ss.QError = hypertree.QError(sp.EstRows, sp.Rows)
+		}
+		out = append(out, ss)
+	}
+	return out
 }
 
 // ErrorResponse is the JSON error envelope for non-2xx responses.
@@ -309,7 +411,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	reqCtx, cancelReq := context.WithTimeout(r.Context(), timeout)
 	defer cancelReq()
 
-	res, coalesced, err := s.evaluate(reqCtx, key, q, timeout)
+	res, coalesced, err := s.evaluate(reqCtx, key, q, timeout, req.Trace)
 	if err == nil {
 		err = res.err
 	}
@@ -320,12 +422,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if coalesced {
 		s.coalesced.Add(1)
 	}
-	s.writeJSON(w, http.StatusOK, s.render(q, key, res, coalesced, req.MaxRows))
+	s.writeJSON(w, http.StatusOK, s.render(q, key, res, coalesced, req.MaxRows, req.Trace))
 }
 
 // evaluate returns the flight result for key, joining an in-flight twin
 // when one exists and otherwise leading a fresh admission+compile+execute.
-func (s *Server) evaluate(reqCtx context.Context, key string, q *hypertree.Query, timeout time.Duration) (*flightResult, bool, error) {
+func (s *Server) evaluate(reqCtx context.Context, key string, q *hypertree.Query, timeout time.Duration, wantTrace bool) (*flightResult, bool, error) {
 	s.mu.Lock()
 	if c, ok := s.flight[key]; ok {
 		s.mu.Unlock()
@@ -371,18 +473,35 @@ func (s *Server) evaluate(reqCtx context.Context, key string, q *hypertree.Query
 
 	execCtx, cancelExec := context.WithTimeout(s.baseCtx, timeout)
 	defer cancelExec()
-	c.res = s.compileAndExecute(execCtx, q)
+	c.res = s.compileAndExecute(execCtx, key, q, wantTrace)
 	finish()
 	return &c.res, false, nil
 }
 
 // compileAndExecute runs one shared compile (through the warm cache) and
-// execution under ctx.
-func (s *Server) compileAndExecute(ctx context.Context, q *hypertree.Query) flightResult {
+// execution under ctx. When the leader asked for a trace — or the server
+// logs slow queries, which needs one ready before it knows the query is
+// slow — the whole pipeline runs under a per-request trace carried by the
+// context, so the shared compile options (and with them the PlanCache keys)
+// are identical with tracing on or off.
+func (s *Server) compileAndExecute(ctx context.Context, key string, q *hypertree.Query, wantTrace bool) flightResult {
 	var res flightResult
+	if wantTrace || s.cfg.SlowQuery > 0 {
+		res.trace = hypertree.NewTrace()
+		ctx = hypertree.ContextWithTrace(ctx, res.trace)
+	}
+	if s.cfg.SlowQuery > 0 {
+		slowStart := time.Now()
+		defer func() {
+			if time.Since(slowStart) >= s.cfg.SlowQuery {
+				s.logSlowQuery(key, &res)
+			}
+		}()
+	}
 	t0 := time.Now()
 	plan, err := s.cache.Compile(ctx, q, s.opts...)
 	res.compileMicros = time.Since(t0).Microseconds()
+	s.stageHist("compile").Observe(time.Since(t0))
 	if err != nil {
 		res.err = err
 		return res
@@ -391,14 +510,69 @@ func (s *Server) compileAndExecute(ctx context.Context, q *hypertree.Query) flig
 	t1 := time.Now()
 	res.table, res.err = plan.Execute(ctx, s.db)
 	res.execMicros = time.Since(t1).Microseconds()
+	s.stageHist("execute").Observe(time.Since(t1))
 	res.boolean = q.IsBoolean()
 	return res
+}
+
+// slowQueryRecord is one JSON line of the slow-query log.
+type slowQueryRecord struct {
+	// Time is the UTC completion time, RFC 3339 with nanoseconds.
+	Time string `json:"ts"`
+	// Query is the canonical query — the PlanCache and batching key.
+	Query string `json:"query"`
+	// CompileMicros and ExecMicros split the wall time that tripped the
+	// threshold.
+	CompileMicros int64 `json:"compile_us"`
+	ExecMicros    int64 `json:"exec_us"`
+	// Plan summarises the compiled plan, when compilation succeeded.
+	Plan string `json:"plan,omitempty"`
+	// Rows is the answer cardinality of a successful execution.
+	Rows int `json:"rows,omitempty"`
+	// Error reports a failed compile or execution (e.g. deadline exceeded —
+	// exactly the executions a slow-query log exists to catch).
+	Error string `json:"error,omitempty"`
+	// Trace is the execution's span summary.
+	Trace []SpanSummary `json:"trace,omitempty"`
+}
+
+// logSlowQuery counts one slow execution and appends its record to the
+// slow-query log.
+func (s *Server) logSlowQuery(key string, res *flightResult) {
+	s.slowQueries.Add(1)
+	if s.cfg.SlowQueryLog == nil {
+		return
+	}
+	rec := slowQueryRecord{
+		Time:          time.Now().UTC().Format(time.RFC3339Nano),
+		Query:         key,
+		CompileMicros: res.compileMicros,
+		ExecMicros:    res.execMicros,
+		Trace:         summarizeTrace(res.trace),
+	}
+	if res.plan != nil {
+		rec.Plan = res.plan.String()
+	}
+	switch {
+	case res.err != nil:
+		rec.Error = res.err.Error()
+	case res.table != nil:
+		rec.Rows = res.table.Rows()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.slowMu.Lock()
+	_, _ = s.cfg.SlowQueryLog.Write(line)
+	s.slowMu.Unlock()
 }
 
 // render shapes a shared flight result for one requester: the requester's
 // own variable names (α-equivalent queries intern identical variable IDs,
 // so the shared table's columns line up) and its own row cap.
-func (s *Server) render(q *hypertree.Query, key string, res *flightResult, coalesced bool, maxRows int) *QueryResponse {
+func (s *Server) render(q *hypertree.Query, key string, res *flightResult, coalesced bool, maxRows int, wantTrace bool) *QueryResponse {
 	out := &QueryResponse{
 		Query:         key,
 		Plan:          res.plan.String(),
@@ -408,6 +582,9 @@ func (s *Server) render(q *hypertree.Query, key string, res *flightResult, coale
 		Coalesced:     coalesced,
 		CompileMicros: res.compileMicros,
 		ExecMicros:    res.execMicros,
+	}
+	if wantTrace {
+		out.Trace = summarizeTrace(res.trace)
 	}
 	if res.boolean {
 		verdict := !res.table.Empty()
@@ -438,8 +615,10 @@ func (s *Server) render(q *hypertree.Query, key string, res *flightResult, coale
 	return out
 }
 
-// Metrics is the GET /admin/metrics payload: a consistent snapshot of the
-// serving counters, the PlanCache, and per-route latency histograms.
+// Metrics is the serving-state snapshot behind GET /admin/metrics.json
+// (this struct as JSON) and GET /admin/metrics (the same snapshot in the
+// Prometheus text exposition format): the serving counters, the PlanCache,
+// and per-route and per-stage latency histograms.
 type Metrics struct {
 	// UptimeSeconds counts from New.
 	UptimeSeconds float64 `json:"uptime_s"`
@@ -454,6 +633,9 @@ type Metrics struct {
 	Rejected   uint64 `json:"rejected"`
 	Executions uint64 `json:"executions"`
 	Coalesced  uint64 `json:"coalesced"`
+	// SlowQueries counts executions at or over the slow-query threshold
+	// (always 0 with slow-query logging disabled).
+	SlowQueries uint64 `json:"slow_queries"`
 	// Inflight and MaxInflight report the worker pool: currently occupied
 	// slots and the admission bound.
 	Inflight    int `json:"inflight"`
@@ -467,9 +649,14 @@ type Metrics struct {
 	CacheTTLSeconds float64                `json:"cache_ttl_s"`
 	// Routes maps each HTTP route to its latency histogram snapshot.
 	Routes map[string]HistogramSnapshot `json:"routes"`
+	// Stages maps each /query pipeline stage ("compile", "execute") to its
+	// latency histogram snapshot, aggregated over every leader execution —
+	// the split a route histogram cannot show.
+	Stages map[string]HistogramSnapshot `json:"stages"`
 }
 
-// Metrics snapshots the serving counters (also served on /admin/metrics).
+// Metrics snapshots the serving counters (also served on /admin/metrics
+// and /admin/metrics.json).
 func (s *Server) Metrics() Metrics {
 	cm := s.cache.Metrics()
 	m := Metrics{
@@ -479,12 +666,14 @@ func (s *Server) Metrics() Metrics {
 		Rejected:        s.rejected.Load(),
 		Executions:      s.executions.Load(),
 		Coalesced:       s.coalesced.Load(),
+		SlowQueries:     s.slowQueries.Load(),
 		Inflight:        len(s.sem),
 		MaxInflight:     s.cfg.MaxInflight,
 		Cache:           cm,
 		CacheCapacity:   s.cache.Capacity(),
 		CacheTTLSeconds: s.cache.TTL().Seconds(),
 		Routes:          map[string]HistogramSnapshot{},
+		Stages:          map[string]HistogramSnapshot{},
 	}
 	if cm.Hits+cm.Misses > 0 {
 		m.CacheHitRate = float64(cm.Hits) / float64(cm.Hits+cm.Misses)
@@ -493,12 +682,25 @@ func (s *Server) Metrics() Metrics {
 	for route, h := range s.hists {
 		m.Routes[route] = h.Snapshot()
 	}
+	for stage, h := range s.stages {
+		m.Stages[stage] = h.Snapshot()
+	}
 	s.histMu.Unlock()
 	return m
 }
 
-// handleMetrics implements GET /admin/metrics.
+// handleMetrics implements GET /admin/metrics: the Prometheus text
+// exposition of the Metrics snapshot, scrapeable by a stock Prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.hist("/admin/metrics").Observe(time.Since(start)) }()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writePromMetrics(w, s.Metrics())
+}
+
+// handleMetricsJSON implements GET /admin/metrics.json: the same snapshot
+// as a JSON document (the shape programmatic consumers like hdload read).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.hist("/admin/metrics").Observe(time.Since(start)) }()
 	s.writeJSON(w, http.StatusOK, s.Metrics())
@@ -535,6 +737,19 @@ func (s *Server) hist(route string) *Histogram {
 	if !ok {
 		h = &Histogram{}
 		s.hists[route] = h
+	}
+	return h
+}
+
+// stageHist returns (creating on first use) the named pipeline-stage
+// histogram.
+func (s *Server) stageHist(stage string) *Histogram {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	h, ok := s.stages[stage]
+	if !ok {
+		h = &Histogram{}
+		s.stages[stage] = h
 	}
 	return h
 }

@@ -271,7 +271,7 @@ func TestServeMetricsAndExplainEndpoints(t *testing.T) {
 		t.Fatal("seed query failed")
 	}
 
-	resp, err := http.Get(ts.URL + "/admin/metrics")
+	resp, err := http.Get(ts.URL + "/admin/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,6 +288,9 @@ func TestServeMetricsAndExplainEndpoints(t *testing.T) {
 	}
 	if h, ok := m.Routes["/query"]; !ok || h.Count != 1 {
 		t.Fatalf("route histogram missing: %+v", m.Routes)
+	}
+	if h, ok := m.Stages["execute"]; !ok || h.Count != 1 {
+		t.Fatalf("stage histogram missing: %+v", m.Stages)
 	}
 
 	// Explain shares the /query cache slot: the seed compile must hit.

@@ -14,6 +14,7 @@ import (
 
 	"hypertree/internal/cq"
 	"hypertree/internal/jointree"
+	"hypertree/internal/obs"
 	"hypertree/internal/relation"
 )
 
@@ -158,8 +159,11 @@ func Boolean(root *Node) bool {
 	return ok
 }
 
-// BooleanContext is Boolean with cancellation between semijoins.
+// BooleanContext is Boolean with cancellation between semijoins. Under a
+// traced context the pass is one SpanSemijoinUp counting semijoins, Rows
+// carrying the reduced root cardinality.
 func BooleanContext(ctx context.Context, root *Node) (bool, error) {
+	sp := obs.FromContext(ctx).StartSpan(obs.SpanSemijoinUp)
 	var up func(n *Node) (*relation.Table, error)
 	up = func(n *Node) (*relation.Table, error) {
 		if err := ctx.Err(); err != nil {
@@ -172,6 +176,7 @@ func BooleanContext(ctx context.Context, root *Node) (bool, error) {
 				return nil, err
 			}
 			t = t.Semijoin(ct)
+			sp.AddSteps(1)
 		}
 		return t, nil
 	}
@@ -179,6 +184,8 @@ func BooleanContext(ctx context.Context, root *Node) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	sp.SetRows(t.Rows())
+	sp.End()
 	return !t.Empty(), nil
 }
 
@@ -206,7 +213,12 @@ func Reduce(root *Node) {
 
 // ReduceContext is Reduce with cancellation between semijoins. On error the
 // tree is left partially reduced (still a superset of the consistent state).
+// Under a traced context the passes record as SpanSemijoinUp and
+// SpanSemijoinDown, each counting its semijoins, Rows carrying the root
+// (resp. fully reduced root) cardinality.
 func ReduceContext(ctx context.Context, root *Node) error {
+	tr := obs.FromContext(ctx)
+	upSp := tr.StartSpan(obs.SpanSemijoinUp)
 	var up func(n *Node) error
 	up = func(n *Node) error {
 		if err := ctx.Err(); err != nil {
@@ -217,9 +229,11 @@ func ReduceContext(ctx context.Context, root *Node) error {
 				return err
 			}
 			n.Table = n.Table.Semijoin(c.Table)
+			upSp.AddSteps(1)
 		}
 		return nil
 	}
+	var downSp *obs.Span
 	var down func(n *Node) error
 	down = func(n *Node) error {
 		if err := ctx.Err(); err != nil {
@@ -227,6 +241,7 @@ func ReduceContext(ctx context.Context, root *Node) error {
 		}
 		for _, c := range n.Children {
 			c.Table = c.Table.Semijoin(n.Table)
+			downSp.AddSteps(1)
 			if err := down(c); err != nil {
 				return err
 			}
@@ -236,7 +251,15 @@ func ReduceContext(ctx context.Context, root *Node) error {
 	if err := up(root); err != nil {
 		return err
 	}
-	return down(root)
+	upSp.SetRows(root.Table.Rows())
+	upSp.End()
+	downSp = tr.StartSpan(obs.SpanSemijoinDown)
+	if err := down(root); err != nil {
+		return err
+	}
+	downSp.SetRows(root.Table.Rows())
+	downSp.End()
+	return nil
 }
 
 // ParallelReduce is Reduce with the per-level semijoins of independent
@@ -266,17 +289,22 @@ func ParallelReduceContext(ctx context.Context, root *Node, workers int) error {
 			}
 		}()
 	}
-	parallelReduce(root, workers, &halted)
+	parallelReduce(ctx, root, workers, &halted)
 	if halted.Load() {
 		return ctx.Err()
 	}
 	return nil
 }
 
-func parallelReduce(root *Node, workers int, halted *atomic.Bool) {
+func parallelReduce(ctx context.Context, root *Node, workers int, halted *atomic.Bool) {
+	tr := obs.FromContext(ctx)
 	// The semaphore bounds concurrent table work only; goroutines waiting on
 	// children hold no slot, so deep trees cannot deadlock.
 	sem := make(chan struct{}, workers)
+	// The pass spans' step counters are bumped from every worker goroutine
+	// (AddSteps is atomic); each pass Ends only after its recursion has
+	// fully joined, so the counts are complete when the span publishes.
+	upSp := tr.StartSpan(obs.SpanSemijoinUp)
 	var up func(n *Node)
 	up = func(n *Node) {
 		var wg sync.WaitGroup
@@ -294,9 +322,11 @@ func parallelReduce(root *Node, workers int, halted *atomic.Bool) {
 		sem <- struct{}{}
 		for _, c := range n.Children {
 			n.Table = n.Table.Semijoin(c.Table)
+			upSp.AddSteps(1)
 		}
 		<-sem
 	}
+	var downSp *obs.Span
 	var down func(n *Node)
 	down = func(n *Node) {
 		if halted.Load() {
@@ -305,6 +335,7 @@ func parallelReduce(root *Node, workers int, halted *atomic.Bool) {
 		sem <- struct{}{}
 		for _, c := range n.Children {
 			c.Table = c.Table.Semijoin(n.Table)
+			downSp.AddSteps(1)
 		}
 		<-sem
 		var wg sync.WaitGroup
@@ -318,7 +349,12 @@ func parallelReduce(root *Node, workers int, halted *atomic.Bool) {
 		wg.Wait()
 	}
 	up(root)
+	upSp.SetRows(root.Table.Rows())
+	upSp.End()
+	downSp = tr.StartSpan(obs.SpanSemijoinDown)
 	down(root)
+	downSp.SetRows(root.Table.Rows())
+	downSp.End()
 }
 
 // Enumerate computes the answer over the head variables. After full
@@ -332,7 +368,10 @@ func Enumerate(root *Node, head []int) *relation.Table {
 }
 
 // EnumerateContext is Enumerate with cancellation between table operations;
-// workers > 1 runs the full-reducer phase on that many goroutines.
+// workers > 1 runs the full-reducer phase on that many goroutines. Under a
+// traced context the joining phase records as one SpanEnumerate: Steps
+// counts the bottom-up joins, Rows the enumerated (pre-head-projection)
+// cardinality; the reduction passes record their own semijoin spans.
 func EnumerateContext(ctx context.Context, root *Node, head []int, workers int) (*relation.Table, error) {
 	if workers > 1 {
 		if err := ParallelReduceContext(ctx, root, workers); err != nil {
@@ -341,6 +380,7 @@ func EnumerateContext(ctx context.Context, root *Node, head []int, workers int) 
 	} else if err := ReduceContext(ctx, root); err != nil {
 		return nil, err
 	}
+	sp := obs.FromContext(ctx).StartSpan(obs.SpanEnumerate)
 	headSet := map[int]bool{}
 	for _, v := range head {
 		headSet[v] = true
@@ -357,6 +397,7 @@ func EnumerateContext(ctx context.Context, root *Node, head []int, workers int) 
 				return nil, err
 			}
 			t = t.Join(ct)
+			sp.AddSteps(1)
 		}
 		// keep head variables and the variables of this node (the node's
 		// own vars are what the parent can join on)
@@ -375,6 +416,8 @@ func EnumerateContext(ctx context.Context, root *Node, head []int, workers int) 
 	if err != nil {
 		return nil, err
 	}
+	sp.SetRows(full.Rows())
+	sp.End()
 	return full.Project(head), nil
 }
 

@@ -1,0 +1,295 @@
+package hypertree
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"hypertree/internal/gen"
+	"hypertree/internal/obs"
+)
+
+// spanNames collects the distinct span names in a trace.
+func spanNames(t *Trace) map[string]int {
+	out := map[string]int{}
+	for _, s := range t.Spans() {
+		out[s.Name]++
+	}
+	return out
+}
+
+// The observability property: attaching a trace must not change a single
+// answer. Random acyclic and cyclic queries, all four decomposition
+// strategies, unsharded and sharded, tables and Boolean verdicts — the
+// traced run's output must be byte-identical to the untraced run's, and
+// the trace must actually have recorded the execution.
+func TestPropertyTracingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	ctx := context.Background()
+	for trial := 0; trial < 12; trial++ {
+		var q *Query
+		switch trial % 3 {
+		case 0:
+			q = gen.Cycle(3 + rng.Intn(4)) // cyclic
+		case 1:
+			q = gen.Path(2 + rng.Intn(4)) // acyclic
+		default:
+			q = gen.RandomCSP(rng, 4+rng.Intn(3), 6+rng.Intn(4), 3) // cyclic
+		}
+		db := gen.RandomDatabase(rng, q, 1+rng.Intn(25), 2+rng.Intn(5))
+		pdb, err := PartitionDatabase(db, 3, HashPartition)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for name, opts := range map[string][]CompileOption{
+			"k-decomp": {WithStrategy(StrategyHypertree), WithDecomposer(KDecomposer())},
+			"ghd":      {WithStrategy(StrategyHypertree), WithDecomposer(GreedyDecomposer())},
+			"fhd":      {WithStrategy(StrategyHypertree), WithDecomposer(FractionalDecomposer())},
+			"auto":     {WithAutoStrategy(), WithStats(db)},
+		} {
+			plan, err := Compile(q, opts...)
+			if err != nil {
+				t.Fatalf("trial %d %s compile: %v", trial, name, err)
+			}
+			want, err := plan.Execute(ctx, db)
+			if err != nil {
+				t.Fatalf("trial %d %s execute: %v", trial, name, err)
+			}
+			wantBool, err := plan.ExecuteBoolean(ctx, db)
+			if err != nil {
+				t.Fatalf("trial %d %s boolean: %v", trial, name, err)
+			}
+
+			tr := NewTrace()
+			tctx := ContextWithTrace(ctx, tr)
+			got, err := plan.Execute(tctx, db)
+			if err != nil {
+				t.Fatalf("trial %d %s traced execute: %v", trial, name, err)
+			}
+			if !got.Equal(want) || got.StringWith(db, q.VarName) != want.StringWith(db, q.VarName) {
+				t.Fatalf("trial %d: %s traced answers disagree on %s", trial, name, q)
+			}
+			gotBool, err := plan.ExecuteBoolean(tctx, db)
+			if err != nil {
+				t.Fatalf("trial %d %s traced boolean: %v", trial, name, err)
+			}
+			if gotBool != wantBool {
+				t.Fatalf("trial %d: %s traced verdict disagrees on %s", trial, name, q)
+			}
+			gotSharded, err := plan.ExecuteSharded(tctx, pdb)
+			if err != nil {
+				t.Fatalf("trial %d %s traced sharded: %v", trial, name, err)
+			}
+			if !gotSharded.Equal(want) {
+				t.Fatalf("trial %d: %s traced sharded answers disagree on %s", trial, name, q)
+			}
+
+			names := spanNames(tr)
+			if names[obs.SpanExec] != 3 {
+				t.Fatalf("trial %d %s: want 3 %q spans, got %d", trial, name, obs.SpanExec, names[obs.SpanExec])
+			}
+			if plan.Decomposition() != nil && names[obs.SpanNode] == 0 {
+				t.Fatalf("trial %d %s: no %q spans recorded", trial, name, obs.SpanNode)
+			}
+		}
+	}
+}
+
+// Tracing must be data-race-free when one plan — and one shared Trace —
+// executes concurrently with parallel per-node materialisation and the
+// sharded scatter path, while readers snapshot and render the same trace.
+// Run under `go test -race` (CI does).
+func TestTraceRaceStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := gen.Cycle(4)
+	db := gen.RandomDatabase(rng, q, 60, 6)
+	pdb, err := PartitionDatabase(db, 4, HashPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q, WithAutoStrategy(), WithStats(db), WithWorkers(4), WithShardWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := plan.Execute(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTrace()
+	tctx := ContextWithTrace(ctx, tr)
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				var got *Table
+				var err error
+				if (i+rep)%2 == 0 {
+					got, err = plan.Execute(tctx, db)
+				} else {
+					got, err = plan.ExecuteSharded(tctx, pdb)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !got.Equal(want) {
+					errc <- errTraceStressMismatch
+					return
+				}
+			}
+		}(i)
+	}
+	// Concurrent readers: snapshots, renders and the analyze report must
+	// be safe while writers are appending spans.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 16; rep++ {
+				_ = tr.Spans()
+				_ = tr.Render()
+				_ = tr.Len()
+				_ = plan.ExplainAnalyze()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if n := spanNames(tr); n[obs.SpanExec] != 32 || n[obs.SpanShard] == 0 {
+		t.Fatalf("stress trace incomplete: %v", n)
+	}
+}
+
+// errTraceStressMismatch flags a traced stress run whose answers diverged.
+var errTraceStressMismatch = &mismatchError{}
+
+// mismatchError is a sentinel error type for the stress test.
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "traced concurrent execution returned wrong answers" }
+
+// WithTrace attaches at compile time: compile spans land immediately and
+// executions without a context trace fall back to the plan's trace;
+// LastTrace and ExplainAnalyze then report the latest execution.
+func TestWithTraceCompileOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := gen.CostSeparationQuery()
+	db := gen.SkewedSizeDatabase(rng, q, 400, 60, 1.1)
+	tr := NewTrace()
+	plan, err := Compile(q, WithAutoStrategy(), WithStats(db), WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := spanNames(tr)
+	if names[obs.SpanCompile] == 0 || names[obs.SpanRace] == 0 {
+		t.Fatalf("compile trace missing compile/race spans: %v", names)
+	}
+	if plan.LastTrace() != nil {
+		t.Fatal("LastTrace non-nil before any traced execution")
+	}
+	if got := plan.ExplainAnalyze(); !strings.Contains(got, "no traced execution yet") {
+		t.Fatalf("pre-execution ExplainAnalyze = %q", got)
+	}
+
+	if _, err := plan.Execute(context.Background(), db); err != nil {
+		t.Fatal(err)
+	}
+	if plan.LastTrace() != tr {
+		t.Fatal("LastTrace did not surface the WithTrace trace")
+	}
+	if n := spanNames(tr); n[obs.SpanExec] != 1 || n[obs.SpanNode] == 0 {
+		t.Fatalf("execution did not fall back to the plan trace: %v", n)
+	}
+
+	report := plan.ExplainAnalyze()
+	for _, want := range []string{"analyze:", "est=", "actual=", "q-err="} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("ExplainAnalyze missing %q:\n%s", want, report)
+		}
+	}
+
+	// A context trace takes precedence over the compile-time trace.
+	other := NewTrace()
+	if _, err := plan.Execute(ContextWithTrace(context.Background(), other), db); err != nil {
+		t.Fatal(err)
+	}
+	if plan.LastTrace() != other {
+		t.Fatal("context trace did not take precedence")
+	}
+	if spanNames(other)[obs.SpanExec] != 1 {
+		t.Fatal("context trace recorded nothing")
+	}
+}
+
+// TraceFromContext round-trips, and a nil trace is inert everywhere.
+func TestTraceContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if TraceFromContext(ctx) != nil {
+		t.Fatal("empty context carries a trace")
+	}
+	tr := NewTrace()
+	if got := TraceFromContext(ContextWithTrace(ctx, tr)); got != tr {
+		t.Fatal("trace did not round-trip through the context")
+	}
+	if got := ContextWithTrace(ctx, nil); TraceFromContext(got) != nil {
+		t.Fatal("nil trace should leave the context bare")
+	}
+	var nilTrace *Trace
+	nilTrace.Observe(TraceSpan{Name: "x"})
+	if nilTrace.Len() != 0 || nilTrace.Spans() != nil || !strings.Contains(nilTrace.Render(), "no spans") {
+		t.Fatal("nil trace is not inert")
+	}
+	sp := nilTrace.StartSpan("x")
+	sp.AddSteps(1)
+	sp.End()
+}
+
+// Traced executions under a statistics-backed plan must feed the
+// process-wide q-error table, keyed by the stats fingerprint.
+func TestQErrorReportFeedback(t *testing.T) {
+	ResetQErrorReport()
+	defer ResetQErrorReport()
+	rng := rand.New(rand.NewSource(9))
+	q := gen.CostSeparationQuery()
+	db := gen.SkewedSizeDatabase(rng, q, 300, 50, 1.1)
+	plan, err := Compile(q, WithAutoStrategy(), WithStats(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Execute(ContextWithTrace(context.Background(), NewTrace()), db); err != nil {
+		t.Fatal(err)
+	}
+	report := QErrorReport()
+	if len(report) == 0 {
+		t.Fatal("traced execution fed nothing into QErrorReport")
+	}
+	for _, e := range report {
+		if e.Fingerprint == "" {
+			t.Fatalf("entry %+v has no stats fingerprint", e)
+		}
+		if e.Count == 0 || e.MaxQ < 1 || e.MeanQ < 1 {
+			t.Fatalf("degenerate q-error entry %+v", e)
+		}
+	}
+	if QError(10, 10) != 1 {
+		t.Fatal("QError(10, 10) != 1")
+	}
+	if QError(1, 100) != QError(100, 1) {
+		t.Fatal("QError is not symmetric")
+	}
+	ResetQErrorReport()
+	if len(QErrorReport()) != 0 {
+		t.Fatal("ResetQErrorReport left entries behind")
+	}
+}

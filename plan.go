@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"hypertree/internal/decomp"
 	"hypertree/internal/hdeval"
+	"hypertree/internal/obs"
 	"hypertree/internal/stats"
 	"hypertree/internal/yannakakis"
 )
@@ -38,6 +40,13 @@ type Plan struct {
 	stats    *stats.Stats
 	edgeRows []float64 // per-hypergraph-edge cardinality estimates
 	estCost  float64   // Σ over nodes of the annotated EstRows
+
+	// observability state. trace is the WithTrace default execution trace
+	// (nil without the option); lastTrace is the most recent traced
+	// execution's trace — the only mutable plan field, atomic so Explain
+	// ANALYZE and concurrent executions never race.
+	trace     *obs.Trace
+	lastTrace atomic.Pointer[obs.Trace]
 }
 
 // compileConfig is assembled by the functional options.
@@ -51,6 +60,7 @@ type compileConfig struct {
 	race         bool         // WithAutoStrategy: race the engines instead of fixing one
 	stats        *stats.Stats // WithCostModel snapshot (wins over statsDB)
 	statsDB      *Database    // WithStats: collect sampled statistics at compile time
+	trace        *obs.Trace   // WithTrace: compile spans + default execution trace
 	err          error        // first invalid option
 }
 
@@ -195,6 +205,8 @@ func CompileContext(ctx context.Context, q *Query, opts ...CompileOption) (*Plan
 	return compile(ctx, q, cfg)
 }
 
+// compile resolves the trace (context first, then WithTrace), records the
+// whole compilation as one SpanCompile, and delegates to compilePlan.
 func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 	if q == nil {
 		return nil, fmt.Errorf("hypertree: Compile on a nil query")
@@ -202,6 +214,25 @@ func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := obs.FromContext(ctx)
+	if tr == nil && cfg.trace != nil {
+		tr = cfg.trace
+		ctx = obs.NewContext(ctx, tr) // the race entrants trace through ctx
+	}
+	sp := tr.StartSpan(obs.SpanCompile)
+	p, err := compilePlan(ctx, q, cfg)
+	if err != nil {
+		sp.SetLabel("error: " + err.Error())
+		sp.End()
+		return nil, err
+	}
+	p.trace = cfg.trace
+	sp.SetLabel(p.String())
+	sp.End()
+	return p, nil
+}
+
+func compilePlan(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 	head, err := hdeval.HeadVars(q)
 	if err != nil {
 		return nil, err
@@ -272,13 +303,18 @@ func compile(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, error) {
 			} else if g, ok := d.(GeneralizedDecomposer); ok && g.Generalized() {
 				p.generalized = true
 			}
+			dsp := obs.FromContext(ctx).StartSpan(obs.SpanDecompose)
 			dec, err = d.Decompose(ctx, h, req)
 			if err != nil {
+				dsp.SetLabel(fmt.Sprintf("%s error: %v", p.decomposer, err))
+				dsp.End()
 				return nil, err
 			}
 			if dec == nil {
 				return nil, fmt.Errorf("hypertree: decomposer %q returned no decomposition and no error", p.decomposer)
 			}
+			dsp.SetLabel(fmt.Sprintf("%s width=%d fhw=%.4g", p.decomposer, dec.Width(), dec.FractionalWidth()))
+			dsp.End()
 		}
 		if h.NumEdges() > 0 {
 			// HD mode checks all four conditions of Definition 4.1; GHD mode
@@ -424,10 +460,50 @@ func strategyName(s Strategy) string {
 	}
 }
 
+// beginExec resolves the execution trace — the context's, else the plan's
+// WithTrace default — opens the SpanExec, and remembers the trace's span
+// count so endExec can scope q-error recording to this execution.
+func (p *Plan) beginExec(ctx context.Context) (context.Context, *obs.Trace, *obs.Span, int) {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		if tr = p.trace; tr == nil {
+			return ctx, nil, nil, 0
+		}
+		ctx = obs.NewContext(ctx, tr)
+	}
+	mark := tr.Len()
+	return ctx, tr, tr.StartSpan(obs.SpanExec), mark
+}
+
+// endExec closes the SpanExec (rows = answer cardinality), publishes the
+// trace as LastTrace, and folds this execution's per-node estimation
+// errors into the process-wide feedback table (QErrorReport), keyed by the
+// plan's statistics fingerprint.
+func (p *Plan) endExec(tr *obs.Trace, sp *obs.Span, mark int, rows int, err error) {
+	if tr == nil {
+		return
+	}
+	if err != nil {
+		sp.SetLabel("error: " + err.Error())
+	} else {
+		sp.SetRows(rows)
+	}
+	sp.End()
+	p.lastTrace.Store(tr)
+	fp := p.stats.Fingerprint()
+	for _, s := range tr.Spans()[mark:] {
+		if (s.Name == obs.SpanNode || s.Name == obs.SpanNodeSharded) && s.EstRows > 0 && s.Rows >= 0 {
+			obs.RecordQError(fp, s.Label, s.EstRows, s.Rows)
+		}
+	}
+}
+
 // Execute runs the plan against db and returns the answer table over the
 // head variables (for a Boolean query: the 0-ary true table, or an empty
 // table when the query is false). A cancelled or expired context aborts the
-// evaluation with ctx.Err(). Safe for concurrent use.
+// evaluation with ctx.Err(). Safe for concurrent use. Under a trace
+// (ContextWithTrace, or the plan's WithTrace) the execution records its
+// spans and becomes the plan's LastTrace.
 func (p *Plan) Execute(ctx context.Context, db *Database) (*Table, error) {
 	if db == nil {
 		return nil, fmt.Errorf("hypertree: Execute on a nil database")
@@ -435,8 +511,19 @@ func (p *Plan) Execute(ctx context.Context, db *Database) (*Table, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, tr, sp, mark := p.beginExec(ctx)
+	t, err := p.execute(ctx, db)
+	rows := 0
+	if t != nil {
+		rows = t.Rows()
+	}
+	p.endExec(tr, sp, mark, rows, err)
+	return t, err
+}
+
+func (p *Plan) execute(ctx context.Context, db *Database) (*Table, error) {
 	if p.query.IsBoolean() {
-		ok, err := p.ExecuteBoolean(ctx, db)
+		ok, err := p.executeBoolean(ctx, db)
 		if err != nil {
 			return nil, err
 		}
@@ -458,7 +545,7 @@ func (p *Plan) Execute(ctx context.Context, db *Database) (*Table, error) {
 
 // ExecuteBoolean decides satisfiability of the plan's query on db (for
 // non-Boolean queries: whether the answer is non-empty), using the cheaper
-// semijoin-only pass where the strategy allows it.
+// semijoin-only pass where the strategy allows it. Traced like Execute.
 func (p *Plan) ExecuteBoolean(ctx context.Context, db *Database) (bool, error) {
 	if db == nil {
 		return false, fmt.Errorf("hypertree: ExecuteBoolean on a nil database")
@@ -466,6 +553,17 @@ func (p *Plan) ExecuteBoolean(ctx context.Context, db *Database) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
+	ctx, tr, sp, mark := p.beginExec(ctx)
+	ok, err := p.executeBoolean(ctx, db)
+	rows := 0
+	if ok {
+		rows = 1
+	}
+	p.endExec(tr, sp, mark, rows, err)
+	return ok, err
+}
+
+func (p *Plan) executeBoolean(ctx context.Context, db *Database) (bool, error) {
 	switch p.strategy {
 	case StrategyNaive:
 		t, err := hdeval.NaiveJoinContext(ctx, db, p.query)
@@ -503,8 +601,19 @@ func (p *Plan) ExecuteSharded(ctx context.Context, pdb *PartitionedDB) (*Table, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, tr, sp, mark := p.beginExec(ctx)
+	t, err := p.executeSharded(ctx, pdb)
+	rows := 0
+	if t != nil {
+		rows = t.Rows()
+	}
+	p.endExec(tr, sp, mark, rows, err)
+	return t, err
+}
+
+func (p *Plan) executeSharded(ctx context.Context, pdb *PartitionedDB) (*Table, error) {
 	if p.query.IsBoolean() {
-		ok, err := p.ExecuteBooleanSharded(ctx, pdb)
+		ok, err := p.executeBooleanSharded(ctx, pdb)
 		if err != nil {
 			return nil, err
 		}
@@ -512,7 +621,7 @@ func (p *Plan) ExecuteSharded(ctx context.Context, pdb *PartitionedDB) (*Table, 
 	}
 	switch p.strategy {
 	case StrategyNaive, StrategyAcyclic:
-		return p.Execute(ctx, pdb.Assembled())
+		return p.execute(ctx, pdb.Assembled())
 	default: // StrategyHypertree
 		return p.eval.EnumerateSharded(ctx, pdb, p.shardWorkers, p.workers)
 	}
@@ -529,9 +638,20 @@ func (p *Plan) ExecuteBooleanSharded(ctx context.Context, pdb *PartitionedDB) (b
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
+	ctx, tr, sp, mark := p.beginExec(ctx)
+	ok, err := p.executeBooleanSharded(ctx, pdb)
+	rows := 0
+	if ok {
+		rows = 1
+	}
+	p.endExec(tr, sp, mark, rows, err)
+	return ok, err
+}
+
+func (p *Plan) executeBooleanSharded(ctx context.Context, pdb *PartitionedDB) (bool, error) {
 	switch p.strategy {
 	case StrategyNaive, StrategyAcyclic:
-		return p.ExecuteBoolean(ctx, pdb.Assembled())
+		return p.executeBoolean(ctx, pdb.Assembled())
 	default: // StrategyHypertree
 		return p.eval.BooleanSharded(ctx, pdb, p.shardWorkers)
 	}

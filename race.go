@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"hypertree/internal/decomp"
+	"hypertree/internal/obs"
 )
 
 // DefaultRaceExactBudget is the step budget WithAutoStrategy imposes on the
@@ -73,8 +75,10 @@ func raceDecomposers(ctx context.Context, h *Hypergraph, req DecomposeRequest) (
 	}
 
 	type result struct {
-		d   *Decomposition
-		err error
+		d       *Decomposition
+		err     error
+		started time.Time
+		elapsed time.Duration
 	}
 	results := make([]result, len(entrants))
 	var wg sync.WaitGroup
@@ -84,8 +88,9 @@ func raceDecomposers(ctx context.Context, h *Hypergraph, req DecomposeRequest) (
 			defer wg.Done()
 			r := req
 			r.StepBudget = e.budget
+			started := time.Now()
 			d, err := e.dec.Decompose(ctx, h, r)
-			results[i] = result{d: d, err: err}
+			results[i] = result{d: d, err: err, started: started, elapsed: time.Since(started)}
 		}(i, e)
 	}
 	wg.Wait()
@@ -115,6 +120,41 @@ func raceDecomposers(ctx context.Context, h *Hypergraph, req DecomposeRequest) (
 			if win < 0 || fw < winFW-decomp.FracEps {
 				win, winFW = i, fw
 			}
+		}
+	}
+	// Trace the entrants only now that the verdict is known: a span per
+	// engine with its achieved width (and cost under statistics) and the
+	// win/lose outcome, timed from inside its goroutine. Spans are
+	// assembled after the fact via Trace.Observe because win/lose cannot be
+	// labelled until every entrant has reported.
+	if tr := obs.FromContext(ctx); tr != nil {
+		for i, r := range results {
+			label := entrants[i].dec.Name()
+			switch {
+			case r.err != nil:
+				label += fmt.Sprintf(" error: %v", r.err)
+			case r.d == nil:
+				label += " no decomposition"
+			default:
+				label += fmt.Sprintf(" width=%d fhw=%.4g", r.d.Width(), r.d.FractionalWidth())
+				if req.EdgeRows != nil {
+					label += fmt.Sprintf(" cost=%.4g", r.d.CostWith(req.EdgeRows))
+				}
+			}
+			if i == win {
+				label += " [win]"
+			} else {
+				label += " [lose]"
+			}
+			tr.Observe(obs.Span{
+				Name:        obs.SpanRace,
+				Label:       label,
+				Node:        -1,
+				Shard:       -1,
+				Rows:        -1,
+				StartMicros: tr.OffsetMicros(r.started),
+				Micros:      r.elapsed.Microseconds(),
+			})
 		}
 	}
 	if win < 0 {

@@ -1,8 +1,10 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke of the serving path: boot hdserve on an
 # ephemeral port over the generated serving database, fire a short hdload
-# burst at it, and fail if any request came back non-2xx or the PlanCache
-# hit rate over the burst was zero. Exercised by `make serve-smoke` and CI.
+# burst at it, scrape /admin/metrics and validate the Prometheus exposition,
+# and fail if any request came back non-2xx or the PlanCache hit rate over
+# the burst was zero. The server runs with -slowquery-ms 1 so the slow-query
+# JSON log is exercised too. Exercised by `make serve-smoke` and CI.
 set -eu
 
 workdir="$(mktemp -d)"
@@ -13,7 +15,7 @@ go build -o "$workdir/hdserve" ./cmd/hdserve
 go build -o "$workdir/hdload" ./cmd/hdload
 
 "$workdir/hdserve" -addr 127.0.0.1:0 -gen-rows 500 -gen-domain 200 \
-    -portfile "$workdir/port" 2> "$workdir/hdserve.log" &
+    -slowquery-ms 1 -portfile "$workdir/port" 2> "$workdir/hdserve.log" &
 server_pid=$!
 
 # Wait for the portfile (hdserve writes it once the listener is up).
@@ -33,6 +35,12 @@ echo "serve-smoke: hdserve on $addr"
 "$workdir/hdload" -addr "$addr" -duration 5s -workers 4 -skew 1.2 \
     -mix full -timeout-ms 10000 -json "$workdir/load.json"
 
+# Scrape the live Prometheus endpoint (before the drain) and validate the
+# exposition plus the hdload report: zero request errors, a non-zero
+# PlanCache hit rate, well-formed samples, and the per-stage histograms.
+go run ./scripts/smokecheck -metrics "http://$addr/admin/metrics" \
+    "$workdir/load.json"
+
 # Graceful drain: SIGTERM must exit cleanly (final metrics on stderr).
 kill -TERM "$server_pid"
 if ! wait "$server_pid"; then
@@ -43,5 +51,11 @@ fi
 echo "serve-smoke: clean SIGTERM drain"
 tail -1 "$workdir/hdserve.log"
 
-# Assert: zero request errors and a non-zero PlanCache hit rate.
-go run ./scripts/smokecheck "$workdir/load.json"
+# With -slowquery-ms 1 at least some of the burst must have crossed the
+# threshold and been logged as JSON lines ({"ts":...,"query":...}).
+slow=$(grep -c '^{"ts":' "$workdir/hdserve.log" || true)
+if [ "$slow" -eq 0 ]; then
+    echo "serve-smoke: no slow-query JSON lines in hdserve.log" >&2
+    exit 1
+fi
+echo "serve-smoke: $slow slow-query log lines"

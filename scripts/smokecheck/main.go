@@ -1,15 +1,30 @@
-// Command smokecheck asserts the serve-smoke acceptance conditions over an
-// hdload JSON report: every cell served with zero request errors, and the
-// PlanCache hit rate over the burst was above zero (the warm-cache serving
-// path actually amortised compiles). Used by scripts/serve_smoke.sh.
+// Command smokecheck asserts the serve-smoke acceptance conditions. Two
+// independent checks, either or both per invocation:
 //
-// Usage: smokecheck load.json
+//   - a load.json argument checks the hdload report: every cell served with
+//     zero request errors, and the PlanCache hit rate over the burst was
+//     above zero (the warm-cache serving path actually amortised compiles);
+//   - -metrics URL scrapes a live /admin/metrics endpoint and fails on
+//     malformed Prometheus text exposition (bad sample lines, samples
+//     without a TYPE header, non-cumulative histogram buckets) or on
+//     missing required series — the request counters and the per-stage
+//     (compile, execute) latency histograms.
+//
+// Used by scripts/serve_smoke.sh.
+//
+// Usage: smokecheck [-metrics URL] [load.json]
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"regexp"
+	"strconv"
+	"strings"
 )
 
 // cell is the slice of an hdload cell report smokecheck asserts on.
@@ -29,42 +44,164 @@ type report struct {
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: smokecheck load.json")
+	metricsURL := flag.String("metrics", "", "scrape this /admin/metrics URL and validate the Prometheus exposition")
+	flag.Parse()
+	if *metricsURL == "" && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: smokecheck [-metrics URL] [load.json]")
 		os.Exit(2)
 	}
-	raw, err := os.ReadFile(os.Args[1])
+	ok := true
+	if *metricsURL != "" {
+		ok = checkMetrics(*metricsURL) && ok
+	}
+	if flag.NArg() == 1 {
+		ok = checkLoadReport(flag.Arg(0)) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// checkLoadReport asserts the hdload cells: requests served, zero errors,
+// warm cache.
+func checkLoadReport(path string) bool {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smokecheck:", err)
-		os.Exit(1)
+		return false
 	}
 	var r report
 	if err := json.Unmarshal(raw, &r); err != nil {
 		fmt.Fprintln(os.Stderr, "smokecheck:", err)
-		os.Exit(1)
+		return false
 	}
 	if len(r.Cells) == 0 {
 		fmt.Fprintln(os.Stderr, "smokecheck: no cells in report")
-		os.Exit(1)
+		return false
 	}
-	failed := false
+	ok := true
 	for _, c := range r.Cells {
 		switch {
 		case c.Requests == 0:
 			fmt.Fprintf(os.Stderr, "smokecheck: cell mix=%s skew=%g workers=%d served no requests\n", c.Mix, c.Skew, c.Workers)
-			failed = true
+			ok = false
 		case c.Errors > 0:
 			fmt.Fprintf(os.Stderr, "smokecheck: cell mix=%s skew=%g workers=%d had %d non-2xx responses\n", c.Mix, c.Skew, c.Workers, c.Errors)
-			failed = true
+			ok = false
 		case c.CacheHitRate <= 0:
 			fmt.Fprintf(os.Stderr, "smokecheck: cell mix=%s skew=%g workers=%d had zero PlanCache hit rate\n", c.Mix, c.Skew, c.Workers)
-			failed = true
+			ok = false
 		default:
 			fmt.Printf("smokecheck: mix=%s skew=%g workers=%d ok — %d requests, 0 errors, hit rate %.1f%%, %d coalesced\n",
 				c.Mix, c.Skew, c.Workers, c.Requests, 100*c.CacheHitRate, c.Coalesced)
 		}
 	}
-	if failed {
-		os.Exit(1)
+	return ok
+}
+
+// promSample matches one exposition sample: name, optional label set, value.
+var promSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_]+="[^"]*"(?:,[a-zA-Z_]+="[^"]*")*\})? (\S+)$`)
+
+// requiredSeries are the exact samples a healthy post-burst scrape must
+// expose (values vary; presence is asserted by prefix match on name+labels).
+var requiredSeries = []string{
+	"hdserve_requests_total",
+	"hdserve_executions_total",
+	"hdserve_plan_cache_hits_total",
+	"hdserve_plan_cache_misses_total",
+	`hdserve_request_duration_seconds_count{route="/query"}`,
+	`hdserve_stage_duration_seconds_count{stage="compile"}`,
+	`hdserve_stage_duration_seconds_count{stage="execute"}`,
+	`hdserve_stage_duration_seconds_bucket{stage="execute",le="+Inf"}`,
+}
+
+// checkMetrics scrapes url and validates the Prometheus text exposition:
+// every sample line parses, every sample's family has a # TYPE header,
+// histogram buckets are cumulative, and the required series are present.
+func checkMetrics(url string) bool {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smokecheck:", err)
+		return false
 	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "smokecheck: %s: status %d\n", url, resp.StatusCode)
+		return false
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smokecheck:", err)
+		return false
+	}
+	body := string(raw)
+
+	ok := true
+	typed := map[string]bool{}        // families with a # TYPE header
+	lastBucket := map[string]uint64{} // histogram series -> last cumulative value
+	samples := map[string]bool{}      // "name{labels}" -> seen
+	for n, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) == 4 {
+				typed[f[2]] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSample.FindStringSubmatch(line)
+		if m == nil {
+			fmt.Fprintf(os.Stderr, "smokecheck: malformed exposition line %d: %q\n", n+1, line)
+			ok = false
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, found := strings.CutSuffix(name, suffix); found && typed[f] {
+				family = f
+			}
+		}
+		if !typed[family] {
+			fmt.Fprintf(os.Stderr, "smokecheck: sample %q has no # TYPE header\n", name)
+			ok = false
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			fmt.Fprintf(os.Stderr, "smokecheck: sample %q has non-numeric value %q\n", name, value)
+			ok = false
+		}
+		samples[name+labels] = true
+		// Histogram buckets must be cumulative per series (same labels
+		// minus `le`; the exposition orders them ascending by bound).
+		if strings.HasSuffix(name, "_bucket") {
+			series := name + regexp.MustCompile(`,?le="[^"]*"`).ReplaceAllString(labels, "")
+			v, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "smokecheck: bucket %q has non-integer value %q\n", line, value)
+				ok = false
+				continue
+			}
+			if prev, seen := lastBucket[series]; seen && v < prev {
+				fmt.Fprintf(os.Stderr, "smokecheck: non-cumulative buckets in %q: %d after %d\n", series, v, prev)
+				ok = false
+			}
+			lastBucket[series] = v
+		}
+	}
+	for _, want := range requiredSeries {
+		if !samples[want] {
+			fmt.Fprintf(os.Stderr, "smokecheck: exposition is missing required series %q\n", want)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("smokecheck: %s ok — %d samples, %d histogram series, all required series present\n",
+			url, len(samples), len(lastBucket))
+	}
+	return ok
 }

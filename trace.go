@@ -1,0 +1,71 @@
+package hypertree
+
+import (
+	"context"
+
+	"hypertree/internal/obs"
+)
+
+// A Trace collects the spans of one traced query: compile stages (parse,
+// decomposition, every race entrant with its win/lose verdict) and
+// execution stages (per-node λ-join materialisation with actual vs
+// estimated cardinality, semijoin passes, enumeration, sharded
+// scatter-gather). Create one with NewTrace, attach it with WithTrace at
+// compile time or ContextWithTrace at execution time, and read it with
+// Spans, Render, or Plan.ExplainAnalyze. All methods are nil-safe and safe
+// for concurrent use; see the internal obs package for the full contract.
+type Trace = obs.Trace
+
+// A TraceSpan is one traced stage of a query's life: its name (see the
+// span taxonomy in docs/ARCHITECTURE.md), wall time, step count, and
+// actual vs estimated output cardinality.
+type TraceSpan = obs.Span
+
+// NewTrace returns an empty trace; span start offsets count from this
+// moment.
+func NewTrace() *Trace { return obs.New() }
+
+// ContextWithTrace returns ctx carrying t: every Compile or Execute under
+// the returned context records its spans into t, without the trace
+// becoming part of the plan or its cache identity. A nil trace returns ctx
+// unchanged. This is how a serving layer traces individual requests while
+// every request still shares one PlanCache slot.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return obs.NewContext(ctx, t)
+}
+
+// TraceFromContext returns the trace carried by ctx, or nil (a valid,
+// inert trace receiver).
+func TraceFromContext(ctx context.Context) *Trace { return obs.FromContext(ctx) }
+
+// WithTrace attaches t to the compilation and to every subsequent
+// execution of the compiled plan that does not carry its own context
+// trace. A context trace (ContextWithTrace) takes precedence, and the
+// option never participates in PlanCache identity — note that a PlanCache
+// hit therefore returns the cached plan without this option's trace;
+// per-request tracing through a cache should use ContextWithTrace.
+func WithTrace(t *Trace) CompileOption {
+	return func(c *compileConfig) { c.trace = t }
+}
+
+// QError is the symmetric relative error of a cardinality estimate:
+// max(est/actual, actual/est), clamped so empty outputs stay finite. 1 is
+// a perfect estimate.
+func QError(est float64, actual int64) float64 { return obs.QError(est, actual) }
+
+// A QErrorEntry summarises the observed estimation error of one
+// decomposition node under one statistics snapshot — see QErrorReport.
+type QErrorEntry = obs.QErrorEntry
+
+// QErrorReport returns the process-wide cardinality-estimation feedback
+// table, worst q-error first: every traced execution records, per
+// decomposition node, how far the planner's estimate sat from the
+// materialised cardinality, keyed by the statistics fingerprint the
+// estimate was priced against. It is the seam adaptive re-planning will
+// consume — a systematically wrong entry names the exact node whose plan
+// should be re-raced against reality.
+func QErrorReport() []QErrorEntry { return obs.QErrorReport() }
+
+// ResetQErrorReport empties the process-wide feedback table (tests, or a
+// statistics refresh that invalidates old fingerprints).
+func ResetQErrorReport() { obs.ResetQErrors() }
