@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke docs serve-smoke
+.PHONY: check fmt vet build test race bench bench-smoke docs serve-smoke fuzz-smoke
 
 # The full gate CI runs: formatting, vet, build, race-instrumented tests
 # (the parallel evaluator and decomposition code must stay race-clean),
-# plus the documentation gate.
-check: fmt vet build race docs
+# the documentation gate, and a short coverage-guided fuzz burst over the
+# query parser/renderer round trip.
+check: fmt vet build race docs fuzz-smoke
 
 # Documentation gate: vet + gofmt plus godoc coverage — every exported
 # identifier in every package must carry a doc comment (see
@@ -36,13 +37,21 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # CI smoke of the experiment suite: every benchmark once (the bench
-# target), then every hdbench experiment (E1–E25) at -smoke scale — the
+# target), then every hdbench experiment (E1–E27) at -smoke scale — the
 # experiments carry their own assertions, so a bit-rotted experiment
 # fails the build. CI captures this target's output as a workflow
 # artifact, so keep it self-describing: it is the inspectable perf
 # trajectory across PRs.
 bench-smoke: bench
 	$(GO) run ./cmd/hdbench -smoke
+
+# Short coverage-guided runs of the cq fuzz targets (seed corpora under
+# internal/cq/testdata/fuzz): parse→render→parse must round-trip and
+# CanonicalForm must be α-rename-invariant. 5s per target keeps the gate
+# fast; run with a longer -fuzztime locally when touching the parser.
+fuzz-smoke:
+	$(GO) test ./internal/cq/ -fuzz FuzzParseQuery -fuzztime 5s -run '^$$'
+	$(GO) test ./internal/cq/ -fuzz FuzzCanonicalForm -fuzztime 5s -run '^$$'
 
 # End-to-end smoke of the serving path: boot hdserve over the generated
 # serving database, drive a 5s hdload burst, drain on SIGTERM, and fail on

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/hypergraph"
@@ -40,13 +41,46 @@ type Atom struct {
 	Args []Term
 }
 
-// String renders the atom as pred(arg1, ..., argn).
+// String renders the atom as pred(arg1, ..., argn) in re-parseable form:
+// constants that Parse would not read back as the same constant are quoted.
 func (a Atom) String() string {
 	parts := make([]string, len(a.Args))
 	for i, t := range a.Args {
-		parts[i] = t.Name
+		parts[i] = t.render()
 	}
 	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// render returns the term as parseable source. Variables print bare (the
+// parser only produces variable names it reads back as variables), as do
+// constants that re-parse as the same constant; every other constant is
+// quoted. A constant containing '"' cannot be rendered parseably (the
+// parser's string literals have no escapes) — such names never come out of
+// Parse, only out of hand-built Terms.
+func (t Term) render() string {
+	if t.IsVar || constIdent(t.Name) {
+		return t.Name
+	}
+	return `"` + t.Name + `"`
+}
+
+// constIdent reports whether Parse reads name back as exactly this constant:
+// a non-empty identifier — byte-wise letters, digits, '_' and non-leading
+// apostrophes, mirroring parser.ident — whose first character is neither
+// upper-case nor '_' (those parse as variables).
+func constIdent(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		r := rune(name[i])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || (r == '\'' && i > 0) {
+			continue
+		}
+		return false
+	}
+	r := rune(name[0])
+	return !unicode.IsUpper(r) && r != '_'
 }
 
 // VarNames returns the distinct variable names of the atom in order of first
@@ -197,13 +231,15 @@ func (q *Query) Hypergraph() (*hypergraph.Hypergraph, []int) {
 	return h, edgeToAtom
 }
 
-// String renders the query as a rule.
+// String renders the query as a re-parseable rule. A nil head prints as
+// "ans()" — the propositional head Parse accepts — so String ∘ Parse is the
+// identity on canonical forms (pinned by FuzzParseQuery).
 func (q *Query) String() string {
 	var b strings.Builder
 	if q.Head != nil {
 		b.WriteString(q.Head.String())
 	} else {
-		b.WriteString("ans")
+		b.WriteString("ans()")
 	}
 	b.WriteString(" :- ")
 	for i, a := range q.Atoms {

@@ -182,8 +182,20 @@ func TestQueryString(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 	q2 := MustParse(`r(X)`)
-	if !strings.HasPrefix(q2.String(), "ans :-") {
+	if !strings.HasPrefix(q2.String(), "ans() :-") {
 		t.Errorf("headless String = %q", q2.String())
+	}
+	if _, err := Parse(q2.String()); err != nil {
+		t.Errorf("headless String does not reparse: %v", err)
+	}
+	// constants that would misparse bare must come back quoted
+	q3 := MustParse(`r(X, "Upper"), s(X, "two words")`)
+	s3 := q3.String()
+	if !strings.Contains(s3, `"Upper"`) || !strings.Contains(s3, `"two words"`) {
+		t.Errorf("constants not re-quoted: %q", s3)
+	}
+	if CanonicalForm(MustParse(s3)) != CanonicalForm(q3) {
+		t.Errorf("constant round trip changed canonical form: %q", s3)
 	}
 }
 

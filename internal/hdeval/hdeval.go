@@ -38,10 +38,12 @@ type Evaluator struct {
 	edgeToAtom []int
 	head       []int
 	chiElems   map[*decomp.Node][]int
-	edgeRows   []float64              // per-edge cardinality estimates (nil: no statistics)
-	lamOrder   map[*decomp.Node][]int // λ edges in evaluation order (ascending estimate)
-	nodeID     map[*decomp.Node]int   // preorder index over the completed tree
-	infos      []NodeInfo             // per-node identity/estimate, indexed by nodeID
+	edgeRows   []float64                // per-edge cardinality estimates (nil: no statistics)
+	lamOrder   map[*decomp.Node][]int   // λ edges in evaluation order (ascending estimate)
+	nodeID     map[*decomp.Node]int     // preorder index over the completed tree
+	infos      []NodeInfo               // per-node identity/estimate, indexed by nodeID
+	kernel     Kernel                   // intra-bag join kernel policy
+	lfNodes    map[*decomp.Node]*lfNode // nodes running the leapfrog kernel, with their orders
 }
 
 // NodeInfo identifies one node of the evaluator's completed decomposition
@@ -83,6 +85,15 @@ func NewEvaluator(q *cq.Query, hd *decomp.Decomposition) (*Evaluator, error) {
 // exactly the tables of one without; only the work to produce them
 // changes. edgeRows nil preserves the historical input order bit for bit.
 func NewEvaluatorStats(q *cq.Query, hd *decomp.Decomposition, edgeRows []float64) (*Evaluator, error) {
+	return NewEvaluatorKernel(q, hd, edgeRows, KernelChain)
+}
+
+// NewEvaluatorKernel is NewEvaluatorStats with an explicit intra-bag join
+// kernel policy (see Kernel). The kernel changes only how each node's
+// χ-projected λ-join is computed — chain of binary hash joins vs columnar
+// leapfrog triejoin — never its result, so evaluators with different
+// kernels return identical tables.
+func NewEvaluatorKernel(q *cq.Query, hd *decomp.Decomposition, edgeRows []float64, kernel Kernel) (*Evaluator, error) {
 	if hd == nil || hd.H == nil || (hd.Root == nil && hd.H.NumEdges() > 0) {
 		return nil, fmt.Errorf("hdeval: nil decomposition")
 	}
@@ -100,6 +111,8 @@ func NewEvaluatorStats(q *cq.Query, hd *decomp.Decomposition, edgeRows []float64
 		chiElems:   map[*decomp.Node][]int{},
 		edgeRows:   edgeRows,
 		lamOrder:   map[*decomp.Node][]int{},
+		kernel:     kernel,
+		lfNodes:    map[*decomp.Node]*lfNode{},
 	}
 	if edgeRows != nil {
 		// The completion may have added fresh ⟨χ=var(e), λ={e}⟩ nodes with no
@@ -119,6 +132,11 @@ func NewEvaluatorStats(q *cq.Query, hd *decomp.Decomposition, edgeRows []float64
 			sort.SliceStable(n.Children, func(i, j int) bool {
 				return n.Children[i].EstRows < n.Children[j].EstRows
 			})
+		}
+		if e.useLeapfrog(n) {
+			if p := e.lfPlanFor(n); p != nil {
+				e.lfNodes[n] = p
+			}
 		}
 	}
 	// Node identity for tracing: preorder over the final (post-reorder)
@@ -264,7 +282,11 @@ func (b *rootBuilder) bind(e2 int) (*relation.Table, error) {
 // — and projects to χ. Under a traced context the build is recorded as one
 // SpanNode carrying the join count and the actual vs estimated cardinality.
 func (b *rootBuilder) materialize(n *decomp.Node) (*relation.Table, error) {
+	if lf := b.e.lfNodes[n]; lf != nil {
+		return b.materializeLeapfrog(n, lf)
+	}
 	sp := b.tr.StartSpan(obs.SpanNode)
+	sp.SetKernel(string(KernelChain))
 	var joined *relation.Table
 	for _, e2 := range b.e.lamOrder[n] {
 		t, err := b.bind(e2)

@@ -1,0 +1,169 @@
+package hdeval
+
+import (
+	"fmt"
+	"sort"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/fhd"
+	"hypertree/internal/obs"
+	"hypertree/internal/relation"
+)
+
+// This file selects and plans the intra-bag join kernel. Each decomposition
+// node's table is the χ-projection of its λ-join; the chain kernel computes
+// it as a left-deep sequence of binary hash joins followed by a dedup
+// projection, while the leapfrog kernel (relation.LeapfrogJoin) encodes the
+// λ relations into sorted columnar tries and intersects them variable by
+// variable — worst-case optimal with respect to the AGM bound, which the
+// node's fractional cover weights certify as r^fhw. The variable order is
+// exactly what the theory prescribes: output (χ) variables first, so results
+// stream out sorted and distinct, then existential variables by descending
+// fractional cover weight (most-covered, hence most selective to intersect,
+// first).
+
+// Kernel names an intra-bag λ-join algorithm.
+type Kernel string
+
+// The available kernels. KernelChain is the left-deep binary hash-join
+// chain (the historical default); KernelLeapfrog forces the columnar
+// leapfrog-triejoin on every node; KernelAuto picks leapfrog per node when
+// the bag joins at least three relations, or at least two under a
+// fractional cover (where the AGM bound r^fhw certifies the kernel's
+// worst-case optimality), and stays with the chain elsewhere.
+const (
+	KernelChain    Kernel = "chain"
+	KernelLeapfrog Kernel = "leapfrog"
+	KernelAuto     Kernel = "auto"
+)
+
+// ParseKernel parses a kernel name; the empty string means KernelChain.
+func ParseKernel(s string) (Kernel, error) {
+	switch Kernel(s) {
+	case "":
+		return KernelChain, nil
+	case KernelChain, KernelLeapfrog, KernelAuto:
+		return Kernel(s), nil
+	}
+	return "", fmt.Errorf("hdeval: unknown join kernel %q (want chain, leapfrog or auto)", s)
+}
+
+// lfNode is the precomputed leapfrog plan of one decomposition node: the
+// global variable order (χ first, existential suffix by descending cover
+// weight) and the output prefix length.
+type lfNode struct {
+	order []int
+	nChi  int
+}
+
+// Kernel returns the evaluator's configured join kernel.
+func (e *Evaluator) Kernel() Kernel { return e.kernel }
+
+// useLeapfrog decides whether node n runs the leapfrog kernel under the
+// evaluator's kernel policy.
+func (e *Evaluator) useLeapfrog(n *decomp.Node) bool {
+	switch e.kernel {
+	case KernelLeapfrog:
+		return true
+	case KernelAuto:
+		lam := len(e.lamOrder[n])
+		return lam >= 3 || (lam >= 2 && n.Weights != nil)
+	}
+	return false
+}
+
+// lfPlanFor computes node n's leapfrog variable order, or nil when the node
+// must fall back to the chain (a χ variable outside var(λ) — impossible on
+// complete decompositions, but the chain is always safe). The order starts
+// with χ in chiElems order — so the output table's columns match the chain
+// path's Project(chiElems) exactly — and continues with the existential
+// variables of var(λ) by descending total fractional cover weight (weight 1
+// per covering edge on integral nodes), ties toward the smaller variable id.
+func (e *Evaluator) lfPlanFor(n *decomp.Node) *lfNode {
+	lam := e.lamOrder[n]
+	inLam := map[int]bool{}
+	weight := map[int]float64{}
+	for _, e2 := range lam {
+		w := 1.0
+		if n.Weights != nil {
+			w = n.Weights[e2]
+		}
+		e.HD.H.Edge(e2).ForEach(func(v int) {
+			inLam[v] = true
+			weight[v] += w
+		})
+	}
+	chi := e.chiElems[n]
+	for _, v := range chi {
+		if !inLam[v] {
+			return nil
+		}
+	}
+	order := append([]int(nil), chi...)
+	inChi := map[int]bool{}
+	for _, v := range chi {
+		inChi[v] = true
+	}
+	var exist []int
+	for v := range inLam {
+		if !inChi[v] {
+			exist = append(exist, v)
+		}
+	}
+	sort.Slice(exist, func(i, j int) bool {
+		if weight[exist[i]] != weight[exist[j]] {
+			return weight[exist[i]] > weight[exist[j]]
+		}
+		return exist[i] < exist[j]
+	})
+	return &lfNode{order: append(order, exist...), nChi: len(chi)}
+}
+
+// agmCapHint is the leapfrog output pre-size for node n: the AGM bound
+// r^fhw priced with the actual bound-table cardinalities, used only when the
+// node carries fractional cover weights (an integral product of full
+// relation sizes over-allocates wildly). The hint is clamped — it sizes a
+// buffer, it does not limit results.
+func agmCapHint(n *decomp.Node, lam []int, tables []*relation.Table) int {
+	if n.Weights == nil {
+		return 0
+	}
+	rows := map[int]float64{}
+	for i, e2 := range lam {
+		rows[e2] = float64(tables[i].Rows())
+	}
+	bound := fhd.AGMBound(n, func(e int) float64 { return rows[e] })
+	const maxHint = 1 << 22
+	if bound > maxHint {
+		return maxHint
+	}
+	return int(bound)
+}
+
+// materializeLeapfrog is the leapfrog-kernel form of materialize: bind the
+// λ relations, run the multiway intersection over the node's precomputed
+// variable order, and take the sorted, already-distinct χ prefix as the
+// node table.
+func (b *rootBuilder) materializeLeapfrog(n *decomp.Node, lf *lfNode) (*relation.Table, error) {
+	sp := b.tr.StartSpan(obs.SpanNode)
+	sp.SetKernel(string(KernelLeapfrog))
+	lam := b.e.lamOrder[n]
+	tables := make([]*relation.Table, len(lam))
+	for i, e2 := range lam {
+		t, err := b.bind(e2)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = t
+	}
+	out := relation.LeapfrogJoin(tables, lf.order, lf.nChi, agmCapHint(n, lam, tables))
+	sp.AddSteps(int64(len(lam) - 1))
+	if id, ok := b.e.nodeID[n]; ok {
+		sp.SetNode(id)
+		sp.SetLabel(b.e.infos[id].Label)
+	}
+	sp.SetEst(n.EstRows)
+	sp.SetRows(out.Rows())
+	sp.End()
+	return out, nil
+}

@@ -116,7 +116,11 @@ func (b *shardedBuilder) build(n *decomp.Node) (*yannakakis.Node, error) {
 // one SpanNodeSharded (join steps, actual vs estimated rows), each shard
 // task records a SpanShard, and the deterministic merge a SpanMerge.
 func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, error) {
+	if lf := b.e.lfNodes[n]; lf != nil {
+		return b.materializeShardedLeapfrog(n, lf)
+	}
 	sp := b.tr.StartSpan(obs.SpanNodeSharded)
+	sp.SetKernel(string(KernelChain))
 	// λ in the evaluator's order: ascending estimated cardinality when the
 	// plan carries statistics, input order otherwise — so the broadcast-side
 	// JoinIndex chain probes the most selective relations first, exactly as
@@ -207,6 +211,93 @@ func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, er
 		sp.SetLabel(b.e.infos[nodeIdx].Label)
 	}
 	sp.AddSteps(int64(len(chain)))
+	sp.SetEst(n.EstRows)
+	sp.SetRows(merged.Rows())
+	sp.End()
+	return merged, nil
+}
+
+// materializeShardedLeapfrog is the leapfrog-kernel form of
+// materializeSharded. The pivot choice and the merge rule are identical to
+// the chain path — the kernel changes only how each shard computes its
+// χ-table. The broadcast λ relations are bound once against the assembled
+// view and encoded once into shared Columnars (immutable, so every shard
+// task leapfrogs over them concurrently through private iterators); each
+// shard encodes only its pivot fragment.
+func (b *shardedBuilder) materializeShardedLeapfrog(n *decomp.Node, lf *lfNode) (*relation.Table, error) {
+	sp := b.tr.StartSpan(obs.SpanNodeSharded)
+	sp.SetKernel(string(KernelLeapfrog))
+	lam := b.e.lamOrder[n]
+	if len(lam) == 0 {
+		return nil, fmt.Errorf("hdeval: decomposition node with empty λ")
+	}
+	pivot := lam[0]
+	for _, e2 := range lam[1:] {
+		if b.rowsOf(e2) > b.rowsOf(pivot) {
+			pivot = e2
+		}
+	}
+	pivotVars, err := atomBindVars(b.e.Q, b.e.edgeToAtom[pivot])
+	if err != nil {
+		return nil, err
+	}
+	broadcast := make([]*relation.Columnar, 0, len(lam)-1)
+	for _, e2 := range lam {
+		if e2 == pivot {
+			continue
+		}
+		ft, err := b.full.bind(e2)
+		if err != nil {
+			return nil, err
+		}
+		broadcast = append(broadcast, relation.NewColumnar(ft, relation.SubOrder(lf.order, ft.Vars)))
+	}
+	nodeIdx, hasID := b.e.nodeID[n]
+	parts, err := shard.Scatter(b.ctx, b.p, b.workers,
+		func(ctx context.Context, i int, db *relation.Database) (*relation.Table, error) {
+			ssp := b.tr.StartSpan(obs.SpanShard)
+			ssp.SetShard(i)
+			ssp.SetKernel(string(KernelLeapfrog))
+			if hasID {
+				ssp.SetNode(nodeIdx)
+			}
+			frag, err := yannakakis.BindAtom(db, b.e.Q, b.e.edgeToAtom[pivot])
+			if err != nil {
+				return nil, err
+			}
+			cols := make([]*relation.Columnar, 0, len(lam))
+			cols = append(cols, relation.NewColumnar(frag, relation.SubOrder(lf.order, frag.Vars)))
+			cols = append(cols, broadcast...)
+			out := relation.LeapfrogJoinColumnar(cols, lf.order, lf.nChi, 0)
+			ssp.AddSteps(int64(len(lam) - 1))
+			ssp.SetRows(out.Rows())
+			ssp.End()
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Same disjointness argument as the chain path: per-shard results can
+	// only collide when the χ-projection drops pivot columns.
+	msp := b.tr.StartSpan(obs.SpanMerge)
+	if hasID {
+		msp.SetNode(nodeIdx)
+	}
+	var merged *relation.Table
+	if containsAll(b.e.chiElems[n], pivotVars) {
+		merged = relation.Concat(parts...)
+		msp.SetLabel("concat")
+	} else {
+		merged = relation.Union(parts...)
+		msp.SetLabel("union")
+	}
+	msp.SetRows(merged.Rows())
+	msp.End()
+	if hasID {
+		sp.SetNode(nodeIdx)
+		sp.SetLabel(b.e.infos[nodeIdx].Label)
+	}
+	sp.AddSteps(int64(len(lam) - 1))
 	sp.SetEst(n.EstRows)
 	sp.SetRows(merged.Rows())
 	sp.End()

@@ -179,6 +179,9 @@ func (t *Trace) Render() string {
 				fmt.Fprintf(&b, " q-err=%.3g", QError(s.EstRows, s.Rows))
 			}
 		}
+		if s.Kernel != "" {
+			fmt.Fprintf(&b, " kernel=%s", s.Kernel)
+		}
 		if s.Label != "" {
 			fmt.Fprintf(&b, "  %s", s.Label)
 		}
@@ -212,6 +215,9 @@ type Span struct {
 	// EstRows is the planner's cardinality estimate for the same output, 0
 	// when the plan carries no statistics.
 	EstRows float64
+	// Kernel names the intra-bag join kernel that produced this span's work
+	// ("chain" or "leapfrog" on node and shard spans), empty elsewhere.
+	Kernel string
 
 	t     *Trace
 	begun time.Time
@@ -236,6 +242,13 @@ func (s *Span) SetNode(id int) {
 func (s *Span) SetShard(i int) {
 	if s != nil {
 		s.Shard = i
+	}
+}
+
+// SetKernel records which join kernel produced the span's work.
+func (s *Span) SetKernel(k string) {
+	if s != nil {
+		s.Kernel = k
 	}
 }
 

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -206,6 +207,55 @@ func TestQErrorTableConcurrent(t *testing.T) {
 	rep := tbl.Report()
 	if len(rep) != 1 || rep[0].Count != 1600 {
 		t.Fatalf("Report = %+v", rep)
+	}
+}
+
+// Stress the table across many distinct keys — past capacity, so the
+// drop-new-keys path runs concurrently with folds into existing entries —
+// with Report/Len readers and periodic Resets racing the writers. Every
+// snapshot must be internally consistent: counts positive, q-errors ≥ 1,
+// mean bounded by max, size bounded by capacity. Run under -race (CI does).
+func TestQErrorTableRaceStress(t *testing.T) {
+	const cap = 32
+	tbl := NewQErrorTable(cap)
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				// 3×cap distinct keys: two thirds of the news are drops
+				node := fmt.Sprintf("node-%d", (w*400+i)%(3*cap))
+				tbl.Record("fp", node, float64(1+i%7), int64(1+(i*w)%90))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if n := tbl.Len(); n > cap {
+					errc <- fmt.Errorf("Len %d exceeds capacity %d", n, cap)
+					return
+				}
+				for _, e := range tbl.Report() {
+					if e.Count <= 0 || e.MaxQ < 1 || e.MeanQ > e.MaxQ+1e-9 || e.MeanQ < 1 {
+						errc <- fmt.Errorf("inconsistent snapshot entry: %+v", e)
+						return
+					}
+				}
+				if r == 0 && i%50 == 49 {
+					tbl.Reset()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,412 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the columnar relation layout behind the worst-case-optimal
+// leapfrog join kernel (leapfrog.go): a Table copied into sorted,
+// dictionary-encoded column blocks over a chosen variable order, plus the
+// trie-style iterator (TrieIter) the kernel leapfrogs over. The layout is
+// immutable after construction and safe for concurrent iteration — the
+// sharded evaluator builds the broadcast side once and probes it from every
+// shard goroutine through per-goroutine iterators.
+
+// A Dict is a per-column integer dictionary: the column's distinct values in
+// ascending order. Codes (indices into the dictionary) are order-isomorphic
+// to values, so all trie navigation runs on dense int32 codes and decodes to
+// interned Values only at the output boundary.
+type Dict struct {
+	vals []Value
+}
+
+// newDict builds the dictionary of the given (unsorted, possibly duplicated)
+// column values.
+func newDict(vals []Value) *Dict {
+	sorted := append([]Value(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return &Dict{vals: out}
+}
+
+// newDictCodes builds the column's dictionary and writes each row's code into
+// codes. Interned Values are small dense ints (Database interns constants
+// consecutively), so when the value range is commensurate with the column a
+// counting pass over the range replaces the comparator sort and every code
+// assignment is one array read; columns with outlying values (hand-built
+// tables) fall back to newDict plus binary-search encoding.
+func newDictCodes(vals []Value, codes []int32) *Dict {
+	maxV := Value(-1)
+	for _, v := range vals {
+		if v > maxV {
+			maxV = v
+		}
+		if v < 0 {
+			maxV = Value(1<<31 - 1) // negative values: force the sort path
+			break
+		}
+	}
+	if int64(maxV) >= 4*int64(len(vals))+1024 {
+		d := newDict(vals)
+		for r, v := range vals {
+			codes[r], _ = d.Code(v)
+		}
+		return d
+	}
+	lookup := make([]int32, int(maxV)+1)
+	for _, v := range vals {
+		lookup[v] = 1
+	}
+	out := make([]Value, 0, len(vals))
+	for v, seen := range lookup {
+		if seen != 0 {
+			lookup[v] = int32(len(out))
+			out = append(out, Value(v))
+		}
+	}
+	for r, v := range vals {
+		codes[r] = lookup[v]
+	}
+	return &Dict{vals: out}
+}
+
+// Len returns the number of distinct values in the column.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Value decodes a dictionary code back to its interned Value.
+func (d *Dict) Value(code int32) Value { return d.vals[code] }
+
+// SeekCode returns the smallest code whose value is ≥ v, or Len() when every
+// dictionary value is below v (binary search).
+func (d *Dict) SeekCode(v Value) int32 {
+	lo, hi := 0, len(d.vals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.vals[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// Code returns the code of v and whether v occurs in the column.
+func (d *Dict) Code(v Value) (int32, bool) {
+	c := d.SeekCode(v)
+	if int(c) < len(d.vals) && d.vals[c] == v {
+		return c, true
+	}
+	return 0, false
+}
+
+// A Columnar is a columnar, dictionary-encoded copy of a Table: one Dict and
+// one code block per column, columns arranged in the caller's variable
+// order, rows sorted lexicographically by code (equivalently, by value —
+// dictionaries preserve order). Construction costs one sort; afterwards the
+// layout supports trie iteration (NewTrieIter), run-based prefix projection
+// and column picking without touching row-major data again.
+type Columnar struct {
+	// Vars is the column order (a permutation of the source table's Vars).
+	Vars  []int
+	dicts []*Dict
+	codes [][]int32 // codes[c][r]: column c of row r, rows lexicographically sorted
+	rows  int
+}
+
+// NewColumnar copies t into columnar form with columns arranged in the given
+// variable order, which must be a permutation of t.Vars (use SubOrder to
+// restrict a global order to a table).
+func NewColumnar(t *Table, order []int) *Columnar {
+	w := len(order)
+	if w != len(t.Vars) {
+		panic(fmt.Sprintf("relation: NewColumnar order %v is not a permutation of table vars %v", order, t.Vars))
+	}
+	src := make([]int, w)
+	for i, v := range order {
+		c := t.col(v)
+		if c < 0 {
+			panic(fmt.Sprintf("relation: NewColumnar order %v is not a permutation of table vars %v", order, t.Vars))
+		}
+		src[i] = c
+	}
+	n := t.rows
+	cn := &Columnar{Vars: append([]int(nil), order...), dicts: make([]*Dict, w), codes: make([][]int32, w), rows: n}
+
+	// Encode column by column: dictionary and codes in one counting pass.
+	colVals := make([]Value, n)
+	for i := 0; i < w; i++ {
+		c := src[i]
+		for r := 0; r < n; r++ {
+			colVals[r] = t.data[r*w+c]
+		}
+		col := make([]int32, n)
+		cn.dicts[i] = newDictCodes(colVals, col)
+		cn.codes[i] = col
+	}
+
+	// Sort rows lexicographically by code with one stable counting pass per
+	// column, last column first (LSD radix over dictionary codes): dense
+	// codes make each pass O(n + |dict|) with no comparator calls, which is
+	// what keeps the trie build from dominating the join on large relations.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	next := make([]int, n)
+	for i := w - 1; i >= 0; i-- {
+		col := cn.codes[i]
+		counts := make([]int, cn.dicts[i].Len()+1)
+		for _, p := range perm {
+			counts[col[p]+1]++
+		}
+		for c := 1; c < len(counts); c++ {
+			counts[c] += counts[c-1]
+		}
+		for _, p := range perm {
+			c := col[p]
+			next[counts[c]] = p
+			counts[c]++
+		}
+		perm, next = next, perm
+	}
+	for i := 0; i < w; i++ {
+		sorted := make([]int32, n)
+		for r, p := range perm {
+			sorted[r] = cn.codes[i][p]
+		}
+		cn.codes[i] = sorted
+	}
+	return cn
+}
+
+// SubOrder returns the subsequence of order whose variables occur in vars —
+// the column order a table over vars takes under a global leapfrog order.
+func SubOrder(order []int, vars []int) []int {
+	in := make(map[int]bool, len(vars))
+	for _, v := range vars {
+		in[v] = true
+	}
+	out := make([]int, 0, len(vars))
+	for _, v := range order {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Rows returns the number of rows.
+func (c *Columnar) Rows() int { return c.rows }
+
+// NumCols returns the number of columns.
+func (c *Columnar) NumCols() int { return len(c.Vars) }
+
+// Dict returns column i's dictionary.
+func (c *Columnar) Dict(i int) *Dict { return c.dicts[i] }
+
+// Value returns the decoded value at (column, row).
+func (c *Columnar) Value(col, row int) Value { return c.dicts[col].Value(c.codes[col][row]) }
+
+// Table materialises the columnar layout back into a row-major Table, rows
+// in sorted order.
+func (c *Columnar) Table() *Table {
+	out := NewTable(c.Vars)
+	out.data = make([]Value, 0, c.rows*len(c.Vars))
+	row := make([]Value, len(c.Vars))
+	for r := 0; r < c.rows; r++ {
+		for i := range c.Vars {
+			row[i] = c.Value(i, r)
+		}
+		out.addRow(row)
+	}
+	return out
+}
+
+// ProjectPrefix returns the distinct projection onto the first k columns.
+// Because rows are lexicographically sorted, distinct prefixes are exactly
+// the run boundaries — the projection is one scan with no hashing and no
+// dedup buffer (the "cheap projection" the sorted layout buys).
+func (c *Columnar) ProjectPrefix(k int) *Table {
+	out := NewTable(c.Vars[:k])
+	if k == 0 {
+		if c.rows > 0 {
+			out.addRow(nil)
+		}
+		return out
+	}
+	row := make([]Value, k)
+	for r := 0; r < c.rows; r++ {
+		if r > 0 {
+			same := true
+			for i := 0; i < k; i++ {
+				if c.codes[i][r] != c.codes[i][r-1] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue
+			}
+		}
+		for i := 0; i < k; i++ {
+			row[i] = c.Value(i, r)
+		}
+		out.addRow(row)
+	}
+	return out
+}
+
+// Project returns the distinct projection onto vars (a subset of c.Vars).
+// When vars is a column prefix the run-based ProjectPrefix scan is used;
+// otherwise the picked columns are materialised and deduplicated.
+func (c *Columnar) Project(vars []int) *Table {
+	if len(vars) <= len(c.Vars) {
+		prefix := true
+		for i, v := range vars {
+			if c.Vars[i] != v {
+				prefix = false
+				break
+			}
+		}
+		if prefix {
+			return c.ProjectPrefix(len(vars))
+		}
+	}
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		cols[i] = -1
+		for j, cv := range c.Vars {
+			if cv == v {
+				cols[i] = j
+				break
+			}
+		}
+		if cols[i] < 0 {
+			panic(fmt.Sprintf("relation: projection variable %d not in columnar %v", v, c.Vars))
+		}
+	}
+	out := NewTable(vars)
+	row := make([]Value, len(vars))
+	for r := 0; r < c.rows; r++ {
+		for i, j := range cols {
+			row[i] = c.Value(j, r)
+		}
+		out.addRow(row)
+	}
+	out.dedup()
+	return out
+}
+
+// A TrieIter walks a Columnar as a trie: level d enumerates the distinct
+// values of column d within the parent prefix's row range. It implements the
+// iterator interface of leapfrog triejoin — Open/Up move between levels,
+// Next/Seek advance within one — with galloping (exponential probe + binary
+// search) over the sorted code blocks, so a Seek costs O(log run) and a full
+// level sweep costs O(distinct · log). Iterators are cheap cursors; any
+// number may walk one shared Columnar concurrently.
+type TrieIter struct {
+	c     *Columnar
+	depth int // current open level; -1 at the root, before the first Open
+	lo    []int
+	hi    []int
+	pos   []int
+}
+
+// NewTrieIter returns an iterator positioned at the trie root (depth -1);
+// call Open to descend into the first level.
+func NewTrieIter(c *Columnar) *TrieIter {
+	w := len(c.Vars)
+	return &TrieIter{c: c, depth: -1, lo: make([]int, w), hi: make([]int, w), pos: make([]int, w)}
+}
+
+// Depth returns the current level (-1 at the root).
+func (it *TrieIter) Depth() int { return it.depth }
+
+// AtEnd reports whether the iterator has exhausted the current level.
+func (it *TrieIter) AtEnd() bool { return it.pos[it.depth] >= it.hi[it.depth] }
+
+// Key returns the value at the iterator's current position (undefined when
+// AtEnd).
+func (it *TrieIter) Key() Value {
+	d := it.depth
+	return it.c.dicts[d].Value(it.c.codes[d][it.pos[d]])
+}
+
+// Open descends one level, into the sub-trie of the current key (from the
+// root: into the whole relation). The new level starts at its first key.
+func (it *TrieIter) Open() {
+	d := it.depth + 1
+	if d == 0 {
+		it.lo[0], it.hi[0], it.pos[0] = 0, it.c.rows, 0
+		it.depth = 0
+		return
+	}
+	p := it.pos[d-1]
+	it.lo[d], it.hi[d], it.pos[d] = p, it.runEnd(d-1, p), p
+	it.depth = d
+}
+
+// Up returns to the parent level, leaving its position untouched.
+func (it *TrieIter) Up() { it.depth-- }
+
+// Next advances to the next distinct key at the current level (one gallop
+// past the current run).
+func (it *TrieIter) Next() {
+	d := it.depth
+	it.pos[d] = it.runEnd(d, it.pos[d])
+}
+
+// Seek advances to the first key ≥ v at the current level; the level is
+// AtEnd when no such key remains. Seek never moves backwards.
+func (it *TrieIter) Seek(v Value) {
+	d := it.depth
+	target := it.c.dicts[d].SeekCode(v)
+	if int(target) >= it.c.dicts[d].Len() {
+		it.pos[d] = it.hi[d]
+		return
+	}
+	it.pos[d] = it.gallop(d, it.pos[d], target)
+}
+
+// runEnd returns the first row past the run of the code at row p in column d.
+func (it *TrieIter) runEnd(d, p int) int {
+	return it.gallop(d, p+1, it.c.codes[d][p]+1)
+}
+
+// gallop returns the first row in [from, hi[d]) whose code in column d is
+// ≥ target: exponential probe to bracket the boundary, then binary search.
+func (it *TrieIter) gallop(d, from int, target int32) int {
+	col := it.c.codes[d]
+	hi := it.hi[d]
+	if from >= hi || col[from] >= target {
+		return from
+	}
+	// col[from] < target: probe 1, 2, 4, ... rows ahead.
+	lo, step := from, 1
+	for lo+step < hi && col[lo+step] < target {
+		lo += step
+		step <<= 1
+	}
+	r := hi
+	if lo+step < hi {
+		r = lo + step
+	}
+	// invariant: col[lo] < target ≤ col[r] (or r == hi); binary search (lo, r].
+	lo++
+	for lo < r {
+		mid := int(uint(lo+r) >> 1)
+		if col[mid] < target {
+			lo = mid + 1
+		} else {
+			r = mid
+		}
+	}
+	return lo
+}

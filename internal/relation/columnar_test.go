@@ -1,0 +1,347 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDict(t *testing.T) {
+	d := newDict([]Value{5, 3, 5, 9, 3, 1})
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	for i, want := range []Value{1, 3, 5, 9} {
+		if d.Value(int32(i)) != want {
+			t.Fatalf("Value(%d) = %d, want %d", i, d.Value(int32(i)), want)
+		}
+	}
+	if c, ok := d.Code(5); !ok || c != 2 {
+		t.Fatalf("Code(5) = %d,%v", c, ok)
+	}
+	if _, ok := d.Code(4); ok {
+		t.Fatal("Code(4) found an absent value")
+	}
+	for _, tc := range []struct {
+		v    Value
+		want int32
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {9, 3}, {10, 4}} {
+		if got := d.SeekCode(tc.v); got != tc.want {
+			t.Fatalf("SeekCode(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestColumnarRoundTripAndSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		vars := []int{3, 1, 7}
+		tab := NewTable(vars)
+		for i := 0; i < rng.Intn(50); i++ {
+			tab.addRow([]Value{Value(rng.Intn(6)), Value(rng.Intn(6)), Value(rng.Intn(6))})
+		}
+		tab.dedup()
+		order := []int{7, 3, 1}
+		c := NewColumnar(tab, order)
+		if c.Rows() != tab.Rows() || c.NumCols() != 3 {
+			t.Fatalf("trial %d: shape %dx%d, want %dx3", trial, c.Rows(), c.NumCols(), tab.Rows())
+		}
+		back := c.Table()
+		if !back.Equal(tab) {
+			t.Fatalf("trial %d: Table() round trip lost rows", trial)
+		}
+		// rows must come out lexicographically sorted in the column order
+		for r := 1; r < c.Rows(); r++ {
+			prev, cur := back.Row(r-1), back.Row(r)
+			cmp := 0
+			for i := range cur {
+				if prev[i] != cur[i] {
+					if prev[i] < cur[i] {
+						cmp = -1
+					} else {
+						cmp = 1
+					}
+					break
+				}
+			}
+			if cmp >= 0 {
+				t.Fatalf("trial %d: rows %d,%d not strictly sorted: %v then %v", trial, r-1, r, prev, cur)
+			}
+		}
+	}
+}
+
+func TestColumnarProject(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		vars := []int{0, 1, 2}
+		tab := NewTable(vars)
+		for i := 0; i < 5+rng.Intn(40); i++ {
+			tab.addRow([]Value{Value(rng.Intn(4)), Value(rng.Intn(4)), Value(rng.Intn(4))})
+		}
+		tab.dedup()
+		c := NewColumnar(tab, vars)
+		for _, proj := range [][]int{{0}, {0, 1}, {0, 1, 2}, {2}, {2, 0}, {1}} {
+			want := tab.Project(proj)
+			got := c.Project(proj)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: Project(%v) disagrees with Table.Project", trial, proj)
+			}
+		}
+	}
+	// Boolean projection: zero columns, non-empty input → the single empty row.
+	tab := tableOf([]int{0}, []Value{1}, []Value{2})
+	if got := NewColumnar(tab, []int{0}).ProjectPrefix(0); got.Rows() != 1 || len(got.Vars) != 0 {
+		t.Fatalf("ProjectPrefix(0) on non-empty = %d rows", got.Rows())
+	}
+	empty := NewTable([]int{0})
+	if got := NewColumnar(empty, []int{0}).ProjectPrefix(0); got.Rows() != 0 {
+		t.Fatal("ProjectPrefix(0) on empty table must be empty")
+	}
+}
+
+func TestTrieIterWalk(t *testing.T) {
+	tab := tableOf([]int{0, 1},
+		[]Value{1, 10}, []Value{1, 20}, []Value{3, 10}, []Value{5, 30}, []Value{5, 40}, []Value{5, 50})
+	c := NewColumnar(tab, []int{0, 1})
+	it := NewTrieIter(c)
+	if it.Depth() != -1 {
+		t.Fatalf("fresh iter depth %d", it.Depth())
+	}
+	it.Open()
+	var walk [][2]Value
+	for ; !it.AtEnd(); it.Next() {
+		x := it.Key()
+		it.Open()
+		for ; !it.AtEnd(); it.Next() {
+			walk = append(walk, [2]Value{x, it.Key()})
+		}
+		it.Up()
+	}
+	want := [][2]Value{{1, 10}, {1, 20}, {3, 10}, {5, 30}, {5, 40}, {5, 50}}
+	if len(walk) != len(want) {
+		t.Fatalf("walk %v, want %v", walk, want)
+	}
+	for i := range want {
+		if walk[i] != want[i] {
+			t.Fatalf("walk %v, want %v", walk, want)
+		}
+	}
+
+	// Seek semantics at the top level: ≥ target, never backwards.
+	it = NewTrieIter(c)
+	it.Open()
+	it.Seek(2)
+	if it.AtEnd() || it.Key() != 3 {
+		t.Fatalf("Seek(2) landed wrong")
+	}
+	it.Seek(3)
+	if it.Key() != 3 {
+		t.Fatal("Seek to current key must not move")
+	}
+	it.Seek(4)
+	if it.AtEnd() || it.Key() != 5 {
+		t.Fatal("Seek(4) must land on 5")
+	}
+	it.Seek(6)
+	if !it.AtEnd() {
+		t.Fatal("Seek past the last key must end the level")
+	}
+	// Seek within a sub-trie respects the prefix bounds.
+	it = NewTrieIter(c)
+	it.Open()
+	it.Seek(5)
+	it.Open()
+	it.Seek(35)
+	if it.AtEnd() || it.Key() != 40 {
+		t.Fatal("nested Seek(35) under prefix 5 must land on 40")
+	}
+	it.Seek(60)
+	if !it.AtEnd() {
+		t.Fatal("nested Seek past the run must end the level")
+	}
+}
+
+func TestSubOrder(t *testing.T) {
+	got := SubOrder([]int{4, 2, 9, 0}, []int{0, 9})
+	if len(got) != 2 || got[0] != 9 || got[1] != 0 {
+		t.Fatalf("SubOrder = %v, want [9 0]", got)
+	}
+	if got := SubOrder([]int{1, 2}, nil); len(got) != 0 {
+		t.Fatalf("empty vars SubOrder = %v", got)
+	}
+}
+
+// randomTable builds a deduped table over vars with rows drawn from [0, dom).
+func randomTable(rng *rand.Rand, vars []int, n, dom int) *Table {
+	t := NewTable(vars)
+	row := make([]Value, len(vars))
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = Value(rng.Intn(dom))
+		}
+		t.addRow(row)
+	}
+	t.dedup()
+	return t
+}
+
+// chainJoinProject is the reference semantics: fold binary hash joins, then
+// a distinct projection onto out.
+func chainJoinProject(tables []*Table, out []int) *Table {
+	acc := tables[0]
+	for _, t := range tables[1:] {
+		acc = acc.Join(t)
+	}
+	return acc.Project(out)
+}
+
+func TestLeapfrogTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		dom := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(40)
+		r := randomTable(rng, []int{0, 1}, n, dom)
+		s := randomTable(rng, []int{1, 2}, n, dom)
+		u := randomTable(rng, []int{0, 2}, n, dom)
+		order := []int{0, 1, 2}
+		for nOut := 0; nOut <= 3; nOut++ {
+			want := chainJoinProject([]*Table{r, s, u}, order[:nOut])
+			got := LeapfrogJoin([]*Table{r, s, u}, order, nOut, 0)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d nOut=%d: leapfrog %d rows, chain %d rows", trial, nOut, got.Rows(), want.Rows())
+			}
+		}
+	}
+}
+
+func TestLeapfrogRandomOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		// 2–4 tables over random subsets of 4 variables, every variable covered.
+		allVars := []int{0, 1, 2, 3}
+		nt := 2 + rng.Intn(3)
+		tables := make([]*Table, nt)
+		covered := map[int]bool{}
+		for i := range tables {
+			var vars []int
+			for _, v := range allVars {
+				if rng.Intn(2) == 0 {
+					vars = append(vars, v)
+				}
+			}
+			if len(vars) == 0 {
+				vars = []int{allVars[rng.Intn(4)]}
+			}
+			for _, v := range vars {
+				covered[v] = true
+			}
+			tables[i] = randomTable(rng, vars, 1+rng.Intn(30), 2+rng.Intn(5))
+		}
+		var order []int
+		for _, v := range allVars {
+			if covered[v] {
+				order = append(order, v)
+			}
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		nOut := rng.Intn(len(order) + 1)
+		want := chainJoinProject(tables, order[:nOut])
+		got := LeapfrogJoin(tables, order, nOut, 7)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: leapfrog disagrees with chain (order %v, nOut %d)", trial, order, nOut)
+		}
+		// Output must arrive sorted and distinct (no dedup pass ran).
+		for r := 1; r < got.Rows(); r++ {
+			prev, cur := got.Row(r-1), got.Row(r)
+			less := false
+			for i := range cur {
+				if prev[i] != cur[i] {
+					less = prev[i] < cur[i]
+					break
+				}
+			}
+			if !less {
+				t.Fatalf("trial %d: output rows %d,%d not strictly ascending", trial, r-1, r)
+			}
+		}
+	}
+}
+
+func TestLeapfrogEdgeCases(t *testing.T) {
+	// Empty input table → empty output, even with a cap hint.
+	r := NewTable([]int{0, 1})
+	s := tableOf([]int{1, 2}, []Value{1, 2})
+	if got := LeapfrogJoin([]*Table{r, s}, []int{0, 1, 2}, 3, 100); got.Rows() != 0 {
+		t.Fatal("join with an empty table must be empty")
+	}
+	// All-Boolean join: no variables, non-empty tables → true.
+	if got := LeapfrogJoin([]*Table{TrueTable(), TrueTable()}, nil, 0, 0); got.Rows() != 1 {
+		t.Fatal("Boolean true join lost its row")
+	}
+	// Single table: leapfrog degenerates to sort + projection.
+	tab := tableOf([]int{0, 1}, []Value{2, 1}, []Value{1, 1}, []Value{2, 9})
+	got := LeapfrogJoin([]*Table{tab}, []int{1, 0}, 1, 0)
+	if want := tab.Project([]int{1}); !got.Equal(want) {
+		t.Fatal("single-table leapfrog projection wrong")
+	}
+	// Shared Columnars across concurrent joins (the sharded usage pattern).
+	big := randomTable(rand.New(rand.NewSource(1)), []int{0, 1}, 200, 10)
+	c := NewColumnar(big, []int{0, 1})
+	done := make(chan *Table, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			done <- LeapfrogJoinColumnar([]*Columnar{c, c}, []int{0, 1}, 2, 0)
+		}()
+	}
+	want := big.Clone()
+	sortRows(want)
+	for i := 0; i < 8; i++ {
+		if got := <-done; !got.Equal(want) {
+			t.Fatal("concurrent shared-columnar join corrupted")
+		}
+	}
+}
+
+// sortRows puts a table's rows in lexicographic order, for comparisons.
+func sortRows(t *Table) {
+	w := len(t.Vars)
+	rows := make([][]Value, t.rows)
+	for i := range rows {
+		rows[i] = append([]Value(nil), t.Row(i)...)
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		for i := 0; i < w; i++ {
+			if rows[a][i] != rows[b][i] {
+				return rows[a][i] < rows[b][i]
+			}
+		}
+		return false
+	})
+	t.data = t.data[:0]
+	for _, r := range rows {
+		t.data = append(t.data, r...)
+	}
+}
+
+func BenchmarkLeapfrogTriangle(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	n, dom := 3000, 300
+	r := randomTable(rng, []int{0, 1}, n, dom)
+	s := randomTable(rng, []int{1, 2}, n, dom)
+	u := randomTable(rng, []int{0, 2}, n, dom)
+	tables := []*Table{r, s, u}
+	order := []int{0, 1, 2}
+	b.Run("leapfrog", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			LeapfrogJoin(tables, order, 3, 0)
+		}
+	})
+	b.Run("chain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			chainJoinProject(tables, order)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LeapfrogJoin computes the natural join of tables with a leapfrog-triejoin:
+// every table is encoded into a sorted Columnar over the global variable
+// order and the join proceeds variable by variable, intersecting the trie
+// levels of all tables containing that variable by leapfrogging seeks. The
+// kernel is worst-case optimal: with the order's existential suffix chosen
+// from a fractional edge cover, total work is bounded by the AGM output
+// bound rather than by intermediate join sizes.
+//
+// order must enumerate exactly the union of the tables' variables; the first
+// nOut of them are the output columns. Because output variables lead the
+// order and enumeration is lexicographic, the result arrives sorted and
+// distinct — trailing (existential) variables are short-circuited after the
+// first witness, so no dedup pass is needed. capHint, when positive,
+// pre-sizes the output (callers pass the AGM bound r^fhw).
+func LeapfrogJoin(tables []*Table, order []int, nOut, capHint int) *Table {
+	cols := make([]*Columnar, len(tables))
+	for i, t := range tables {
+		cols[i] = NewColumnar(t, SubOrder(order, t.Vars))
+	}
+	return LeapfrogJoinColumnar(cols, order, nOut, capHint)
+}
+
+// LeapfrogJoinColumnar is LeapfrogJoin over pre-built Columnars whose column
+// orders are subsequences of order (see SubOrder). Columnars are immutable,
+// so callers may share them across concurrent joins — the sharded evaluator
+// encodes the broadcast side once and joins it against every shard fragment.
+func LeapfrogJoinColumnar(cols []*Columnar, order []int, nOut, capHint int) *Table {
+	out := NewTable(order[:nOut])
+	for _, c := range cols {
+		if c.Rows() == 0 {
+			return out
+		}
+	}
+	j := &leapfrogJoiner{order: order, nOut: nOut, out: out, binding: make([]Value, len(order))}
+	j.atDepth = make([][]*TrieIter, len(order))
+	for _, c := range cols {
+		it := NewTrieIter(c)
+		ci := 0
+		for d, v := range order {
+			if ci < len(c.Vars) && c.Vars[ci] == v {
+				j.atDepth[d] = append(j.atDepth[d], it)
+				ci++
+			}
+		}
+		if ci != len(c.Vars) {
+			panic(fmt.Sprintf("relation: leapfrog columnar vars %v not a subsequence of order %v", c.Vars, order))
+		}
+	}
+	for d, its := range j.atDepth {
+		if len(its) == 0 {
+			panic(fmt.Sprintf("relation: leapfrog order variable %d covered by no relation", order[d]))
+		}
+	}
+	if len(order) == 0 {
+		// All-Boolean join of non-empty tables: the single empty row.
+		out.addRow(nil)
+		return out
+	}
+	if capHint > 0 && nOut > 0 {
+		out.data = make([]Value, 0, capHint*nOut)
+	}
+	j.run(0)
+	return out
+}
+
+// leapfrogJoiner holds the recursion state of one LeapfrogJoinColumnar call.
+type leapfrogJoiner struct {
+	order   []int
+	nOut    int
+	atDepth [][]*TrieIter // iterators participating at each depth
+	binding []Value
+	out     *Table
+}
+
+// run enumerates the join at depth d (binding[:d] fixed) and reports whether
+// the subtree emitted at least one row — the signal the existential
+// short-circuit keys off.
+func (j *leapfrogJoiner) run(d int) bool {
+	if d == len(j.order) {
+		j.out.addRow(j.binding[:j.nOut])
+		return true
+	}
+	its := j.atDepth[d]
+	for _, it := range its {
+		it.Open()
+	}
+	found := false
+	live := true
+	for _, it := range its {
+		if it.AtEnd() {
+			live = false
+			break
+		}
+	}
+	if live {
+		// leapfrog init: order iterators by key, then intersect.
+		sort.Slice(its, func(a, b int) bool { return its[a].Key() < its[b].Key() })
+		p := 0
+		for leapfrogSearch(its, &p) {
+			j.binding[d] = its[p].Key()
+			if j.run(d + 1) {
+				found = true
+				if d >= j.nOut {
+					// Existential depth: one witness per output prefix
+					// suffices, so every emitted prefix is distinct.
+					break
+				}
+			}
+			its[p].Next()
+			if its[p].AtEnd() {
+				break
+			}
+			p = (p + 1) % len(its)
+		}
+	}
+	for _, it := range its {
+		it.Up()
+	}
+	return found
+}
+
+// leapfrogSearch advances the iterators round-robin — the least-positioned
+// one seeks to the current maximum key — until all agree on one key (true)
+// or some level is exhausted (false). On success its[*p] sits on the common
+// key.
+func leapfrogSearch(its []*TrieIter, p *int) bool {
+	n := len(its)
+	for {
+		maxKey := its[(*p+n-1)%n].Key()
+		cur := its[*p]
+		if cur.Key() == maxKey {
+			return true
+		}
+		cur.Seek(maxKey)
+		if cur.AtEnd() {
+			return false
+		}
+		*p = (*p + 1) % n
+	}
+}

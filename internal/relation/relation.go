@@ -205,15 +205,17 @@ func (r *Relation) Has(vals ...Value) bool {
 }
 
 func encode(vals []Value) string {
-	var b strings.Builder
-	b.Grow(len(vals) * 4)
+	return string(appendVals(make([]byte, 0, len(vals)*4), vals))
+}
+
+// appendVals appends the 4-byte little-endian encoding of each value to b.
+// Hot dedup loops reuse one buffer and probe maps with string(buf), which
+// the compiler keeps allocation-free on lookup.
+func appendVals(b []byte, vals []Value) []byte {
 	for _, v := range vals {
-		b.WriteByte(byte(v))
-		b.WriteByte(byte(v >> 8))
-		b.WriteByte(byte(v >> 16))
-		b.WriteByte(byte(v >> 24))
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
-	return b.String()
+	return b
 }
 
 // String renders the relation as facts, sorted, for tests and tools.

@@ -123,13 +123,16 @@ func (t *Table) dedup() {
 	w := len(t.Vars)
 	out := t.data[:0]
 	kept := 0
+	// One reused key buffer: the map lookup on string(buf) does not allocate;
+	// only first-seen rows pay a key allocation on insert.
+	buf := make([]byte, 0, w*4)
 	for i := 0; i < t.rows; i++ {
 		row := t.data[i*w : (i+1)*w]
-		k := encode(row)
-		if seen[k] {
+		buf = appendVals(buf[:0], row)
+		if seen[string(buf)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(buf)] = true
 		out = append(out, row...)
 		kept++
 	}

@@ -1,0 +1,131 @@
+package hypertree
+
+import (
+	"context"
+	"testing"
+
+	"hypertree/internal/gen"
+)
+
+// The differential proof obligation of the leapfrog kernel: on randomized
+// acyclic and cyclic queries — half of them headed — every decomposer ×
+// kernel combination must return exactly the naive join's answers, on the
+// single-database path, the Boolean path, and the 3-shard scatter/gather
+// path. The chain kernel rides along as a third implementation, so any
+// disagreement isolates which kernel is wrong. Run under -race in CI; the
+// leapfrog path shares immutable columnar tries across shard goroutines.
+func TestKernelEquivalence(t *testing.T) {
+	ctx := context.Background()
+	cases := gen.KernelCases(1999, 28)
+	acyclic, cyclic := 0, 0
+	for _, c := range cases {
+		if c.Cyclic {
+			cyclic++
+		} else {
+			acyclic++
+		}
+	}
+	if acyclic == 0 || cyclic == 0 {
+		t.Fatalf("degenerate case mix: %d acyclic, %d cyclic", acyclic, cyclic)
+	}
+
+	decomposers := map[string]CompileOption{
+		"k-decomp": WithDecomposer(KDecomposer()),
+		"ghd":      WithDecomposer(GreedyDecomposer()),
+		"fhd":      WithDecomposer(FractionalDecomposer()),
+	}
+	kernels := []JoinKernel{JoinKernelChain, JoinKernelLeapfrog, JoinKernelAuto}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			naive, err := Compile(tc.Q, WithStrategy(StrategyNaive))
+			if err != nil {
+				t.Fatalf("naive compile: %v", err)
+			}
+			want, err := naive.Execute(ctx, tc.DB)
+			if err != nil {
+				t.Fatalf("naive execute: %v", err)
+			}
+			wantBool, err := naive.ExecuteBoolean(ctx, tc.DB)
+			if err != nil {
+				t.Fatalf("naive boolean: %v", err)
+			}
+			pdb, err := PartitionDatabase(tc.DB, 3, HashPartition)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for dname, dopt := range decomposers {
+				for _, k := range kernels {
+					plan, err := Compile(tc.Q, WithStrategy(StrategyHypertree), dopt, WithJoinKernel(k))
+					if err != nil {
+						t.Fatalf("%s/%s compile: %v", dname, k, err)
+					}
+					if plan.JoinKernel() != k {
+						t.Fatalf("%s: plan reports kernel %q, want %q", dname, plan.JoinKernel(), k)
+					}
+					got, err := plan.Execute(ctx, tc.DB)
+					if err != nil {
+						t.Fatalf("%s/%s execute: %v", dname, k, err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("%s/%s disagrees with naive on %s:\n got %d rows, want %d",
+							dname, k, tc.Q, got.Rows(), want.Rows())
+					}
+					if got.StringWith(tc.DB, tc.Q.VarName) != want.StringWith(tc.DB, tc.Q.VarName) {
+						t.Fatalf("%s/%s rendering disagrees with naive on %s", dname, k, tc.Q)
+					}
+					gotBool, err := plan.ExecuteBoolean(ctx, tc.DB)
+					if err != nil {
+						t.Fatalf("%s/%s boolean: %v", dname, k, err)
+					}
+					if gotBool != wantBool {
+						t.Fatalf("%s/%s boolean verdict %v, want %v, on %s", dname, k, gotBool, wantBool, tc.Q)
+					}
+					gotS, err := plan.ExecuteSharded(ctx, pdb)
+					if err != nil {
+						t.Fatalf("%s/%s sharded: %v", dname, k, err)
+					}
+					if !gotS.Equal(want) {
+						t.Fatalf("%s/%s sharded disagrees with naive on %s", dname, k, tc.Q)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The leapfrog kernel must also agree when forced onto every bag of plans
+// whose statistics carry fractional cover weights — the configuration where
+// the AGM capacity hint and the weight-ordered existential suffix are
+// actually exercised.
+func TestKernelEquivalenceFractionalWeights(t *testing.T) {
+	ctx := context.Background()
+	for i, tc := range gen.KernelCases(733, 10) {
+		if !tc.Cyclic {
+			continue // fractional weights only arise on genuinely cyclic bags
+		}
+		naive, err := Compile(tc.Q, WithStrategy(StrategyNaive))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naive.Execute(ctx, tc.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []JoinKernel{JoinKernelLeapfrog, JoinKernelAuto} {
+			plan, err := Compile(tc.Q, WithStrategy(StrategyHypertree),
+				WithDecomposer(FractionalDecomposer()), WithStats(tc.DB), WithJoinKernel(k))
+			if err != nil {
+				t.Fatalf("case %d %s: %v", i, k, err)
+			}
+			got, err := plan.Execute(ctx, tc.DB)
+			if err != nil {
+				t.Fatalf("case %d %s: %v", i, k, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("case %d: %s under fractional weights disagrees on %s", i, k, tc.Q)
+			}
+		}
+	}
+}

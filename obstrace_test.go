@@ -171,6 +171,94 @@ func TestTraceRaceStress(t *testing.T) {
 	}
 }
 
+// The q-error feedback table must stay race-free and internally consistent
+// under the serving regime TestTraceRaceStress models: traced executions
+// folding per-node estimation errors into the process-wide table from many
+// goroutines, while readers pull reports and a mixer occasionally resets the
+// table mid-flight. Run under `go test -race` (CI does).
+func TestQErrorRaceStress(t *testing.T) {
+	ResetQErrorReport()
+	rng := rand.New(rand.NewSource(23))
+	q := gen.Cycle(4)
+	db := gen.RandomDatabase(rng, q, 60, 6)
+	// WithStats gives every decomposition node an estimate, so endExec has
+	// q-errors to record; one plan per kernel so both materialisers feed
+	// the same table.
+	plans := make([]*Plan, 0, 2)
+	for _, k := range []JoinKernel{JoinKernelChain, JoinKernelLeapfrog} {
+		plan, err := Compile(q, WithStrategy(StrategyHypertree), WithStats(db), WithJoinKernel(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, plan)
+	}
+	ctx := context.Background()
+	want, err := plans[0].Execute(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tctx := ContextWithTrace(ctx, NewTrace())
+			for rep := 0; rep < 6; rep++ {
+				got, err := plans[(i+rep)%len(plans)].Execute(tctx, db)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !got.Equal(want) {
+					errc <- errTraceStressMismatch
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rep := 0; rep < 16; rep++ {
+				for _, e := range QErrorReport() {
+					if e.Count <= 0 || e.MaxQ < 1 || e.MeanQ > e.MaxQ+1e-9 {
+						errc <- errTraceStressMismatch
+						return
+					}
+				}
+				if i == 0 && rep%8 == 7 {
+					ResetQErrorReport()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// After the dust settles, one more traced run must land entries keyed
+	// by the plan's statistics fingerprint.
+	ResetQErrorReport()
+	if _, err := plans[0].Execute(ContextWithTrace(ctx, NewTrace()), db); err != nil {
+		t.Fatal(err)
+	}
+	rep := QErrorReport()
+	if len(rep) == 0 {
+		t.Fatal("traced execution recorded no q-error entries")
+	}
+	for _, e := range rep {
+		if e.Fingerprint == "" || e.Count != 1 {
+			t.Fatalf("unexpected feedback entry after reset: %+v", e)
+		}
+	}
+	ResetQErrorReport()
+}
+
 // errTraceStressMismatch flags a traced stress run whose answers diverged.
 var errTraceStressMismatch = &mismatchError{}
 

@@ -33,8 +33,9 @@ type Plan struct {
 	workers      int
 	shardWorkers int
 	decomposer   string
-	generalized  bool // decomposition validated as a GHD (conditions 1–3 only)
-	fractional   bool // decomposition carries fractional λ weights (validated by ValidateFHD)
+	generalized  bool          // decomposition validated as a GHD (conditions 1–3 only)
+	fractional   bool          // decomposition carries fractional λ weights (validated by ValidateFHD)
+	kernel       hdeval.Kernel // intra-bag join kernel (chain when unset)
 
 	// cost-based planning state (nil/zero without WithStats/WithCostModel)
 	stats    *stats.Stats
@@ -57,11 +58,12 @@ type compileConfig struct {
 	workers      int
 	shardWorkers int
 	decomposer   Decomposer
-	race         bool         // WithAutoStrategy: race the engines instead of fixing one
-	stats        *stats.Stats // WithCostModel snapshot (wins over statsDB)
-	statsDB      *Database    // WithStats: collect sampled statistics at compile time
-	trace        *obs.Trace   // WithTrace: compile spans + default execution trace
-	err          error        // first invalid option
+	kernel       hdeval.Kernel // WithJoinKernel: intra-bag join kernel ("" = chain)
+	race         bool          // WithAutoStrategy: race the engines instead of fixing one
+	stats        *stats.Stats  // WithCostModel snapshot (wins over statsDB)
+	statsDB      *Database     // WithStats: collect sampled statistics at compile time
+	trace        *obs.Trace    // WithTrace: compile spans + default execution trace
+	err          error         // first invalid option
 }
 
 // CompileOption is a functional option for Compile.
@@ -254,6 +256,7 @@ func compilePlan(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, erro
 		workers:      cfg.workers,
 		shardWorkers: cfg.shardWorkers,
 		stats:        cfg.stats,
+		kernel:       cfg.kernel,
 	}
 	switch strategy {
 	case StrategyNaive:
@@ -351,7 +354,7 @@ func compilePlan(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, erro
 			}
 		}
 		p.dec = dec
-		p.eval, err = hdeval.NewEvaluatorStats(q, dec, p.edgeRows)
+		p.eval, err = hdeval.NewEvaluatorKernel(q, dec, p.edgeRows, p.JoinKernel())
 		if err != nil {
 			return nil, err
 		}
@@ -440,6 +443,9 @@ func (p *Plan) String() string {
 	}
 	if p.decomposer != "" {
 		fmt.Fprintf(&b, ", decomposer=%s", p.decomposer)
+	}
+	if k := p.JoinKernel(); k != JoinKernelChain {
+		fmt.Fprintf(&b, ", kernel=%s", k)
 	}
 	b.WriteString("}")
 	return b.String()

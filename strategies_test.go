@@ -64,10 +64,10 @@ func TestPropertyStrategiesAgreeWithHeads(t *testing.T) {
 	}
 }
 
-// stripHead removes the "ans :- " prefix and trailing period produced by
-// Query.String for headless queries.
+// stripHead removes the "ans() :- " prefix produced by Query.String for
+// headless queries.
 func stripHead(s string) string {
-	const prefix = "ans :- "
+	const prefix = "ans() :- "
 	if len(s) > len(prefix) && s[:len(prefix)] == prefix {
 		return s[len(prefix):]
 	}
