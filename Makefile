@@ -37,7 +37,7 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # CI smoke of the experiment suite: every benchmark once (the bench
-# target), then every hdbench experiment (E1–E27) at -smoke scale — the
+# target), then every hdbench experiment (E1–E28) at -smoke scale — the
 # experiments carry their own assertions, so a bit-rotted experiment
 # fails the build. CI captures this target's output as a workflow
 # artifact, so keep it self-describing: it is the inspectable perf
@@ -54,8 +54,10 @@ fuzz-smoke:
 	$(GO) test ./internal/cq/ -fuzz FuzzCanonicalForm -fuzztime 5s -run '^$$'
 
 # End-to-end smoke of the serving path: boot hdserve over the generated
-# serving database, drive a 5s hdload burst, drain on SIGTERM, and fail on
-# any non-2xx response or a zero PlanCache hit rate (see
-# scripts/serve_smoke.sh).
+# serving database with sampled tracing and OTel file export, drive a 5s
+# hdload burst, validate the metrics exposition (exemplars included) and
+# the export file, drain on SIGTERM, then run the hdload -churn exercise
+# against a second server and assert the q-error-triggered statistics
+# refresh closed the feedback loop (see scripts/serve_smoke.sh).
 serve-smoke:
 	sh ./scripts/serve_smoke.sh

@@ -6,8 +6,8 @@
 //	hdbench -smoke     # CI mode: scaled-down data, same assertions
 //	hdbench -json PATH # also write a machine-readable result record
 //
-// -smoke shrinks the heavy databases of E23, E25, E26 and E27 (and skips
-// their wall-clock assertions, meaningless at toy scale) so the whole
+// -smoke shrinks the heavy databases of E23, E25, E26, E27 and E28 (and
+// skips their wall-clock assertions, meaningless at toy scale) so the whole
 // suite runs in CI on every push — experiments cannot bit-rot unnoticed.
 //
 // -json writes one record per executed experiment (id, title, pass/fail,
@@ -1086,6 +1086,191 @@ var experiments = []experiment{
 		fmt.Println("  workloads — it skips the binary-join intermediates and emits node tables")
 		fmt.Println("  sorted-distinct — while the wall-clock margin is asserted only outside")
 		fmt.Println("  -smoke, where microsecond jitter would dominate")
+		return nil
+	}},
+	{"E28", "Observability loop — 1-in-100 sampled tracing costs ≤1%, spans round-trip as OTLP/JSON", func() error {
+		// The always-on-observability experiment. Part 1 prices the sampling
+		// discipline hdserve runs in production: a 1-in-100 TraceSampler over
+		// a burst of triangle executions against a plain untraced burst of
+		// the same size. A nil *Trace costs nothing on the untraced 99, so
+		// the aggregate overhead must sit within 1% — an order of magnitude
+		// under the 5% per-execution budget E26 pins for a fully-traced run.
+		const sampleEvery = 100
+		const overheadBudget = 1.01 // sampled burst ≤ plain burst × this
+		execs, rows, domain := 300, 3_000, 1_000
+		if smoke {
+			execs, rows, domain = 100, 500, 300
+		}
+		db := gen.ServingDatabase(rand.New(rand.NewSource(28)), rows, domain)
+		q, err := hypertree.ParseQuery(`r1(X1, X2), r2(X2, X3), r3(X3, X1)`)
+		if err != nil {
+			return err
+		}
+		st := hypertree.CollectStatsSampled(db, 0)
+		plan, err := hypertree.Compile(q,
+			hypertree.WithAutoStrategy(),
+			hypertree.WithCostModel(st))
+		if err != nil {
+			return err
+		}
+		ctx := context.Background()
+		want, err := plan.Execute(ctx, db)
+		if err != nil {
+			return err
+		}
+		bestOf := func(n int, f func() error) (time.Duration, error) {
+			best := time.Duration(1<<63 - 1)
+			for i := 0; i < n; i++ {
+				t0 := time.Now()
+				if err := f(); err != nil {
+					return 0, err
+				}
+				if d := time.Since(t0); d < best {
+					best = d
+				}
+			}
+			return best, nil
+		}
+		const rounds = 5
+		plainT, err := bestOf(rounds, func() error {
+			for i := 0; i < execs; i++ {
+				ans, err := plan.Execute(ctx, db)
+				if err != nil {
+					return err
+				}
+				if !ans.Equal(want) {
+					return fmt.Errorf("plain burst changed the answer: %d rows, want %d", ans.Rows(), want.Rows())
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		sampler := hypertree.NewTraceSampler(sampleEvery)
+		sampledT, err := bestOf(rounds, func() error {
+			for i := 0; i < execs; i++ {
+				ectx := ctx
+				if t := sampler.Sample(); t != nil {
+					ectx = hypertree.ContextWithTrace(ctx, t)
+				}
+				ans, err := plan.Execute(ectx, db)
+				if err != nil {
+					return err
+				}
+				if !ans.Equal(want) {
+					return fmt.Errorf("sampled burst changed the answer: %d rows, want %d", ans.Rows(), want.Rows())
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		wantSampled := uint64(rounds*execs) / sampleEvery
+		if sampler.Seen() != uint64(rounds*execs) || sampler.Sampled() != wantSampled {
+			return fmt.Errorf("sampler counted %d/%d seen/sampled, want %d/%d",
+				sampler.Seen(), sampler.Sampled(), rounds*execs, wantSampled)
+		}
+		overhead := float64(sampledT) / float64(plainT)
+		fmt.Printf("  %d-exec burst: plain %v, 1-in-%d sampled %v (%.2f%% overhead, %d traces taken)\n",
+			execs, plainT.Round(time.Microsecond), sampleEvery, sampledT.Round(time.Microsecond),
+			(overhead-1)*100, sampler.Sampled())
+		if !smoke && overhead > overheadBudget {
+			return fmt.Errorf("sampled-tracing overhead %.2f%% exceeds the 1%% budget", (overhead-1)*100)
+		}
+
+		// Part 2: the OTel seam. One fully-traced compile+execute must
+		// round-trip through MarshalOTLP as valid OTLP/JSON — the payload an
+		// hdserve -otel-file / -otel-endpoint exporter ships — with the span
+		// taxonomy, the 32/16-hex trace and span IDs, nanosecond interval
+		// times, and the q-error attribute the feedback loop keys on.
+		tr := hypertree.NewTrace()
+		tplan, err := hypertree.Compile(q,
+			hypertree.WithAutoStrategy(),
+			hypertree.WithCostModel(st),
+			hypertree.WithTrace(tr))
+		if err != nil {
+			return err
+		}
+		if _, err := tplan.Execute(hypertree.ContextWithTrace(ctx, tr), db); err != nil {
+			return err
+		}
+		payload, err := hypertree.MarshalOTLP("hdbench", tr)
+		if err != nil {
+			return err
+		}
+		var otlp struct {
+			ResourceSpans []struct {
+				Resource struct {
+					Attributes []struct {
+						Key   string `json:"key"`
+						Value struct {
+							StringValue string `json:"stringValue"`
+						} `json:"value"`
+					} `json:"attributes"`
+				} `json:"resource"`
+				ScopeSpans []struct {
+					Spans []struct {
+						TraceID   string `json:"traceId"`
+						SpanID    string `json:"spanId"`
+						Name      string `json:"name"`
+						StartNano string `json:"startTimeUnixNano"`
+						EndNano   string `json:"endTimeUnixNano"`
+						Attrs     []struct {
+							Key string `json:"key"`
+						} `json:"attributes"`
+					} `json:"spans"`
+				} `json:"scopeSpans"`
+			} `json:"resourceSpans"`
+		}
+		if err := json.Unmarshal(payload, &otlp); err != nil {
+			return fmt.Errorf("OTLP payload does not parse back: %w", err)
+		}
+		if len(otlp.ResourceSpans) != 1 || len(otlp.ResourceSpans[0].ScopeSpans) != 1 {
+			return fmt.Errorf("OTLP payload shape: %d resourceSpans", len(otlp.ResourceSpans))
+		}
+		spans := otlp.ResourceSpans[0].ScopeSpans[0].Spans
+		if len(spans) != len(tr.Spans()) {
+			return fmt.Errorf("OTLP payload has %d spans, trace has %d", len(spans), len(tr.Spans()))
+		}
+		names := map[string]bool{}
+		ids := map[string]bool{}
+		qerrs := 0
+		for _, sp := range spans {
+			if sp.TraceID != tr.TraceID() || len(sp.TraceID) != 32 {
+				return fmt.Errorf("span %q carries trace ID %q, want %q", sp.Name, sp.TraceID, tr.TraceID())
+			}
+			if len(sp.SpanID) != 16 || ids[sp.SpanID] {
+				return fmt.Errorf("span %q has bad or duplicate span ID %q", sp.Name, sp.SpanID)
+			}
+			ids[sp.SpanID] = true
+			var start, end uint64
+			if _, err := fmt.Sscanf(sp.StartNano+" "+sp.EndNano, "%d %d", &start, &end); err != nil || end < start {
+				return fmt.Errorf("span %q has bad interval [%s, %s]", sp.Name, sp.StartNano, sp.EndNano)
+			}
+			names[sp.Name] = true
+			for _, a := range sp.Attrs {
+				if a.Key == "hypertree.q_error" {
+					qerrs++
+				}
+			}
+		}
+		for _, need := range []string{"compile", "exec", "exec/node"} {
+			if !names[need] {
+				return fmt.Errorf("OTLP payload is missing a %q span", need)
+			}
+		}
+		if qerrs == 0 {
+			return fmt.Errorf("no span carries the hypertree.q_error attribute")
+		}
+		fmt.Printf("  OTLP round-trip: %d spans, %d distinct IDs, %d q-error attributes, service+taxonomy intact\n",
+			len(spans), len(ids), qerrs)
+		fmt.Println("  expected shape: the sampled burst answers match the plain burst with ≤1%")
+		fmt.Println("  aggregate overhead (a nil trace costs nothing on the unsampled 99), the")
+		fmt.Println("  sampler's counters are exact, and a traced execution exports as OTLP/JSON")
+		fmt.Println("  that parses back with consistent IDs, intervals and q-error attributes")
+		fmt.Println("  (the wall-clock assertion is skipped at -smoke scale)")
 		return nil
 	}},
 }

@@ -8,6 +8,9 @@
 //	        [-cache-size N] [-cache-ttl D] [-max-inflight N]
 //	        [-timeout D] [-max-timeout D] [-step-budget N] [-max-rows N]
 //	        [-slowquery-ms N] [-portfile PATH] [-drain D]
+//	        [-trace-sample N] [-otel-file PATH | -otel-endpoint URL]
+//	        [-stats-refresh D] [-qerror-threshold Q] [-qerror-window N]
+//	        [-refresh-cooldown D]
 //
 // The database is either a facts file (-db, ground atoms in "r(a,b)." form)
 // or the generated serving workload (-gen-rows, matching gen.ServingPool so
@@ -16,9 +19,23 @@
 // ":0" read it to find the ephemeral port.
 //
 // Endpoints: POST /query (JSON; "trace": true opts into a per-request span
-// summary), GET /admin/metrics (Prometheus text), GET /admin/metrics.json,
-// GET /admin/explain, GET /debug/pprof, GET /healthz. See internal/serve
-// for the request dataflow, in-flight batching and admission control.
+// summary), POST /admin/ingest (append facts to the live database), POST
+// /admin/refresh (force a statistics refresh), GET /admin/qerror (the
+// cardinality-feedback table), GET /admin/metrics (Prometheus text),
+// GET /admin/metrics.json, GET /admin/explain, GET /debug/pprof,
+// GET /healthz. See internal/serve for the request dataflow, in-flight
+// batching and admission control.
+//
+// Observability loop: -trace-sample N traces one in every N executions even
+// when clients never ask for a trace — sampled traces feed the q-error
+// feedback table, annotate latency-histogram buckets with exemplar trace
+// IDs, and (with -otel-file or -otel-endpoint) ship as OTel OTLP/JSON
+// spans. -stats-refresh D re-collects statistics every D; -qerror-threshold
+// Q additionally triggers a refresh whenever some node's median q-error
+// over its last -qerror-window sampled executions exceeds Q (bounded below
+// by -refresh-cooldown). Because plan-cache keys embed the statistics
+// fingerprint, a refresh re-ranks plans on their next compile with no
+// restart and no cache invalidation.
 //
 // -slowquery-ms N (0 = off) traces every execution and appends each one
 // that takes N ms or longer as a JSON line to stderr — query, stage
@@ -48,64 +65,117 @@ import (
 	"hypertree/internal/serve"
 )
 
+// options collects every flag so run stays a single-argument call.
+type options struct {
+	addr            string
+	dbFile          string
+	genRows         int
+	genDomain       int
+	genSeed         int64
+	cacheSize       int
+	cacheTTL        time.Duration
+	maxInflight     int
+	timeout         time.Duration
+	maxTimeout      time.Duration
+	stepBudget      int
+	maxRows         int
+	slowQueryMS     int
+	portfile        string
+	drain           time.Duration
+	traceSample     int
+	otelFile        string
+	otelEndpoint    string
+	statsRefresh    time.Duration
+	qerrorThreshold float64
+	qerrorWindow    int
+	refreshCooldown time.Duration
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address (\":0\" picks an ephemeral port)")
-		dbFile      = flag.String("db", "", "facts file to load (ground atoms, one or more per line)")
-		genRows     = flag.Int("gen-rows", 0, "generate the serving database with N rows per relation instead of -db")
-		genDomain   = flag.Int("gen-domain", 1000, "constant domain size for -gen-rows")
-		genSeed     = flag.Int64("gen-seed", 1, "rng seed for -gen-rows")
-		cacheSize   = flag.Int("cache-size", 0, "PlanCache capacity (0 = default)")
-		cacheTTL    = flag.Duration("cache-ttl", 0, "PlanCache entry time-to-live (0 = never expire)")
-		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2×GOMAXPROCS)")
-		timeout     = flag.Duration("timeout", 0, "default per-request deadline (0 = 5s)")
-		maxTimeout  = flag.Duration("max-timeout", 0, "clamp on client-supplied timeouts (0 = 60s)")
-		stepBudget  = flag.Int("step-budget", 0, "decomposition search step budget (0 = default)")
-		maxRows     = flag.Int("max-rows", 0, "max answer rows per response (0 = 1000)")
-		slowQueryMS = flag.Int("slowquery-ms", 0, "log queries at/over this many milliseconds as JSON lines to stderr (0 = off)")
-		portfile    = flag.String("portfile", "", "write the bound listen address to this file once serving")
-		drain       = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address (\":0\" picks an ephemeral port)")
+	flag.StringVar(&o.dbFile, "db", "", "facts file to load (ground atoms, one or more per line)")
+	flag.IntVar(&o.genRows, "gen-rows", 0, "generate the serving database with N rows per relation instead of -db")
+	flag.IntVar(&o.genDomain, "gen-domain", 1000, "constant domain size for -gen-rows")
+	flag.Int64Var(&o.genSeed, "gen-seed", 1, "rng seed for -gen-rows")
+	flag.IntVar(&o.cacheSize, "cache-size", 0, "PlanCache capacity (0 = default)")
+	flag.DurationVar(&o.cacheTTL, "cache-ttl", 0, "PlanCache entry time-to-live (0 = never expire)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "max concurrently executing queries (0 = 2×GOMAXPROCS)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "default per-request deadline (0 = 5s)")
+	flag.DurationVar(&o.maxTimeout, "max-timeout", 0, "clamp on client-supplied timeouts (0 = 60s)")
+	flag.IntVar(&o.stepBudget, "step-budget", 0, "decomposition search step budget (0 = default)")
+	flag.IntVar(&o.maxRows, "max-rows", 0, "max answer rows per response (0 = 1000)")
+	flag.IntVar(&o.slowQueryMS, "slowquery-ms", 0, "log queries at/over this many milliseconds as JSON lines to stderr (0 = off)")
+	flag.StringVar(&o.portfile, "portfile", "", "write the bound listen address to this file once serving")
+	flag.DurationVar(&o.drain, "drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+	flag.IntVar(&o.traceSample, "trace-sample", 0, "trace one in every N executions (0 = off); sampled traces feed q-error feedback, exemplars and span export")
+	flag.StringVar(&o.otelFile, "otel-file", "", "append sampled traces as OTLP/JSON lines to this file")
+	flag.StringVar(&o.otelEndpoint, "otel-endpoint", "", "POST sampled traces as OTLP/JSON to this OTLP/HTTP endpoint (e.g. http://localhost:4318/v1/traces)")
+	flag.DurationVar(&o.statsRefresh, "stats-refresh", 0, "re-collect the statistics snapshot on this period (0 = off)")
+	flag.Float64Var(&o.qerrorThreshold, "qerror-threshold", 0, "trigger a statistics refresh when a node's median q-error exceeds this (0 = off)")
+	flag.IntVar(&o.qerrorWindow, "qerror-window", 0, "consecutive-execution window for the q-error trigger median (0 = default)")
+	flag.DurationVar(&o.refreshCooldown, "refresh-cooldown", 0, "minimum spacing between feedback-triggered refreshes (0 = default)")
 	flag.Parse()
-	if err := run(*addr, *dbFile, *genRows, *genDomain, *genSeed, *cacheSize, *cacheTTL,
-		*maxInflight, *timeout, *maxTimeout, *stepBudget, *maxRows, *slowQueryMS, *portfile, *drain); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hdserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbFile string, genRows, genDomain int, genSeed int64, cacheSize int, cacheTTL time.Duration,
-	maxInflight int, timeout, maxTimeout time.Duration, stepBudget, maxRows, slowQueryMS int, portfile string, drain time.Duration) error {
-	db, desc, err := loadDatabase(dbFile, genRows, genDomain, genSeed)
+func run(o options) error {
+	db, desc, err := loadDatabase(o.dbFile, o.genRows, o.genDomain, o.genSeed)
 	if err != nil {
 		return err
 	}
 
+	exporter, err := buildExporter(o)
+	if err != nil {
+		return err
+	}
+	var opts []serve.Option
+	if o.traceSample > 0 {
+		opts = append(opts, serve.WithTraceSampling(o.traceSample))
+	}
+	if exporter != nil {
+		opts = append(opts, serve.WithSpanExporter(exporter))
+		defer exporter.Close()
+	}
+
 	t0 := time.Now()
 	s, err := serve.New(serve.Config{
-		DB:             db,
-		CacheSize:      cacheSize,
-		CacheTTL:       cacheTTL,
-		MaxInflight:    maxInflight,
-		DefaultTimeout: timeout,
-		MaxTimeout:     maxTimeout,
-		StepBudget:     stepBudget,
-		MaxAnswerRows:  maxRows,
-		SlowQuery:      time.Duration(slowQueryMS) * time.Millisecond,
-		SlowQueryLog:   os.Stderr,
-	})
+		DB:              db,
+		CacheSize:       o.cacheSize,
+		CacheTTL:        o.cacheTTL,
+		MaxInflight:     o.maxInflight,
+		DefaultTimeout:  o.timeout,
+		MaxTimeout:      o.maxTimeout,
+		StepBudget:      o.stepBudget,
+		MaxAnswerRows:   o.maxRows,
+		SlowQuery:       time.Duration(o.slowQueryMS) * time.Millisecond,
+		SlowQueryLog:    os.Stderr,
+		StatsRefresh:    o.statsRefresh,
+		QErrorThreshold: o.qerrorThreshold,
+		QErrorWindow:    o.qerrorWindow,
+		RefreshCooldown: o.refreshCooldown,
+	}, opts...)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
 	fmt.Fprintf(os.Stderr, "hdserve: %s, statistics collected in %v\n", desc, time.Since(t0).Round(time.Millisecond))
+	if o.traceSample > 0 {
+		fmt.Fprintf(os.Stderr, "hdserve: tracing 1 in %d executions\n", o.traceSample)
+	}
+	if o.statsRefresh > 0 || o.qerrorThreshold > 0 {
+		fmt.Fprintf(os.Stderr, "hdserve: stats refresh armed (interval %v, q-error threshold %g)\n", o.statsRefresh, o.qerrorThreshold)
+	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	if portfile != "" {
-		if err := os.WriteFile(portfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+	if o.portfile != "" {
+		if err := os.WriteFile(o.portfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			return err
 		}
 	}
@@ -121,13 +191,13 @@ func run(addr, dbFile string, genRows, genDomain int, genSeed int64, cacheSize i
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "hdserve: %v, draining (deadline %v)\n", sig, drain)
+		fmt.Fprintf(os.Stderr, "hdserve: %v, draining (deadline %v)\n", sig, o.drain)
 	}
 
 	// Drain: stop accepting, let in-flight requests finish (their execution
 	// contexts derive from the Server lifecycle, not the listener), then
 	// cancel whatever is still running.
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
 	shutdownErr := srv.Shutdown(ctx)
 	if errors.Is(shutdownErr, context.DeadlineExceeded) {
@@ -140,6 +210,21 @@ func run(addr, dbFile string, genRows, genDomain int, genSeed int64, cacheSize i
 	out, _ := json.Marshal(s.Metrics())
 	fmt.Fprintf(os.Stderr, "hdserve: final metrics %s\n", out)
 	return shutdownErr
+}
+
+// buildExporter resolves the -otel-file / -otel-endpoint choice into a span
+// exporter, or nil when span export is off.
+func buildExporter(o options) (*hypertree.OTLPExporter, error) {
+	switch {
+	case o.otelFile != "" && o.otelEndpoint != "":
+		return nil, fmt.Errorf("-otel-file and -otel-endpoint are mutually exclusive")
+	case o.otelFile != "":
+		return hypertree.NewOTLPFileExporter(o.otelFile, "hdserve")
+	case o.otelEndpoint != "":
+		return hypertree.NewOTLPHTTPExporter(o.otelEndpoint, "hdserve"), nil
+	default:
+		return nil, nil
+	}
 }
 
 // loadDatabase resolves the -db / -gen-rows choice into a loaded database

@@ -34,8 +34,10 @@ package obs
 
 import (
 	"context"
+	"encoding/hex"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -94,13 +96,42 @@ const (
 // pointer test.
 type Trace struct {
 	start time.Time
+	id    [16]byte
 
 	mu    sync.Mutex
 	spans []Span
 }
 
 // New returns an empty trace; span start offsets count from this moment.
-func New() *Trace { return &Trace{start: time.Now()} }
+// Every trace is born with a random 128-bit trace ID (see TraceID), which is
+// what lets exemplars and exported OTel spans refer back to it.
+func New() *Trace {
+	t := &Trace{start: time.Now()}
+	hi, lo := rand.Uint64(), rand.Uint64()
+	for i := 0; i < 8; i++ {
+		t.id[i] = byte(hi >> (8 * (7 - i)))
+		t.id[8+i] = byte(lo >> (8 * (7 - i)))
+	}
+	return t
+}
+
+// TraceID returns the trace's 128-bit identity as 32 lowercase hex digits —
+// the W3C trace-context / OTel trace_id format. Empty on a nil trace.
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return hex.EncodeToString(t.id[:])
+}
+
+// StartTime returns the wall-clock instant the trace was created (the zero
+// point of every span's StartMicros offset); the zero time on a nil trace.
+func (t *Trace) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
 
 // StartSpan opens a span named name. The returned span is exclusively owned
 // by the caller until End publishes it to the trace; on a nil trace it
@@ -339,4 +370,62 @@ func QError(est float64, actual int64) float64 {
 	e := math.Max(est, 1)
 	a := math.Max(float64(actual), 1)
 	return math.Max(e/a, a/e)
+}
+
+// A Sampler decides which requests carry a trace when tracing is always-on:
+// every Nth Sample call returns a fresh trace, the rest return nil (and a
+// nil *Trace costs nothing — see Trace). The counter is atomic, so one
+// sampler is shared by every serving goroutine; a nil *Sampler never
+// samples, letting callers thread an optional sampler without branching.
+type Sampler struct {
+	n       uint64
+	seen    atomic.Uint64
+	sampled atomic.Uint64
+}
+
+// NewSampler returns a 1-in-n sampler. n ≤ 0 returns nil (sampling off);
+// n == 1 traces every request.
+func NewSampler(n int) *Sampler {
+	if n <= 0 {
+		return nil
+	}
+	return &Sampler{n: uint64(n)}
+}
+
+// Sample returns a new trace on every Nth call (the first sampled call is
+// the Nth, so warmup traffic is not over-sampled) and nil otherwise.
+func (s *Sampler) Sample() *Trace {
+	if s == nil {
+		return nil
+	}
+	if s.seen.Add(1)%s.n != 0 {
+		return nil
+	}
+	s.sampled.Add(1)
+	return New()
+}
+
+// Seen returns how many Sample calls the sampler has answered.
+func (s *Sampler) Seen() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.seen.Load()
+}
+
+// Sampled returns how many of those calls returned a trace.
+func (s *Sampler) Sampled() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.sampled.Load()
+}
+
+// N returns the sampling period (a trace every Nth request); 0 on a nil
+// sampler.
+func (s *Sampler) N() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.n)
 }

@@ -8,9 +8,16 @@ import (
 // defaultQErrorCap bounds the process-wide feedback table: one entry per
 // (statistics fingerprint, node label) pair, so a serving daemon with a
 // stable statistics snapshot holds one entry per distinct plan node it ever
-// executed. New keys past the cap are dropped — feedback is advisory, and a
-// bounded table can never become the leak.
+// executed. When the table is full a new key first evicts an entry recorded
+// under a stale statistics fingerprint (any fingerprint other than the one
+// announced via SetLive) and is dropped only if every entry is live —
+// feedback is advisory, and a bounded table can never become the leak.
 const defaultQErrorCap = 4096
+
+// qErrorRecentCap bounds the per-entry ring of most-recent q-errors that
+// backs MedianRecent — enough history for any plausible refresh-trigger
+// window while keeping each entry small.
+const qErrorRecentCap = 32
 
 // A QErrorEntry accumulates the estimation feedback of one decomposition
 // node under one statistics snapshot: how often it was executed and how far
@@ -29,8 +36,58 @@ type QErrorEntry struct {
 	// LastEst and LastRows are the most recent estimate/actual pair.
 	LastEst  float64
 	LastRows int64
+	// Recent holds the most recent q-errors in observation order (oldest
+	// first), at most qErrorRecentCap of them — the window refresh triggers
+	// take their medians over.
+	Recent []float64
 
-	sumQ float64
+	sumQ   float64
+	ring   [qErrorRecentCap]float64
+	ringN  int64
+	ringAt int
+}
+
+// MedianRecent returns the median of the entry's last window q-errors, or 0
+// when fewer than window observations have been recorded (window ≤ 0 means
+// the whole retained ring). A trigger comparing this against a threshold
+// therefore only fires after N consecutive executions under the same
+// fingerprint, as required.
+func (e *QErrorEntry) MedianRecent(window int) float64 {
+	if e == nil {
+		return 0
+	}
+	if window <= 0 || window > qErrorRecentCap {
+		window = qErrorRecentCap
+	}
+	recent := e.Recent
+	if recent == nil {
+		recent = e.recentLocked()
+	}
+	if len(recent) < window {
+		return 0
+	}
+	last := append([]float64(nil), recent[len(recent)-window:]...)
+	sort.Float64s(last)
+	if n := len(last); n%2 == 1 {
+		return last[n/2]
+	}
+	n := len(last)
+	return (last[n/2-1] + last[n/2]) / 2
+}
+
+// recentLocked assembles the ring's contents oldest-first. Callers must hold
+// the owning table's lock (or own a detached copy).
+func (e *QErrorEntry) recentLocked() []float64 {
+	n := int(e.ringN)
+	if n > qErrorRecentCap {
+		n = qErrorRecentCap
+	}
+	out := make([]float64, 0, n)
+	start := (e.ringAt - n + qErrorRecentCap) % qErrorRecentCap
+	for i := 0; i < n; i++ {
+		out = append(out, e.ring[(start+i)%qErrorRecentCap])
+	}
+	return out
 }
 
 // qKey identifies one feedback slot.
@@ -48,6 +105,7 @@ type qKey struct {
 type QErrorTable struct {
 	mu      sync.Mutex
 	cap     int
+	live    string
 	entries map[qKey]*QErrorEntry
 }
 
@@ -60,9 +118,23 @@ func NewQErrorTable(capacity int) *QErrorTable {
 	return &QErrorTable{cap: capacity, entries: map[qKey]*QErrorEntry{}}
 }
 
+// SetLive announces which statistics fingerprint is currently serving.
+// Eviction under memory pressure prefers entries recorded against any other
+// (stale) fingerprint, so the feedback for the live snapshot survives a
+// history of refreshes.
+func (t *QErrorTable) SetLive(fingerprint string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.live = fingerprint
+	t.mu.Unlock()
+}
+
 // Record folds one (estimate, actual) observation for the node under the
-// given statistics fingerprint into the table. New keys are dropped once the
-// table is full.
+// given statistics fingerprint into the table. When the table is full a new
+// key evicts a stale-fingerprint entry (see SetLive) and is dropped only if
+// every entry is live.
 func (t *QErrorTable) Record(fingerprint, node string, est float64, rows int64) {
 	if t == nil {
 		return
@@ -73,7 +145,7 @@ func (t *QErrorTable) Record(fingerprint, node string, est float64, rows int64) 
 	defer t.mu.Unlock()
 	e, ok := t.entries[k]
 	if !ok {
-		if len(t.entries) >= t.cap {
+		if len(t.entries) >= t.cap && !t.evictStaleLocked() {
 			return
 		}
 		e = &QErrorEntry{Fingerprint: fingerprint, Node: node}
@@ -87,6 +159,35 @@ func (t *QErrorTable) Record(fingerprint, node string, est float64, rows int64) 
 	}
 	e.LastEst = est
 	e.LastRows = rows
+	e.ring[e.ringAt] = q
+	e.ringAt = (e.ringAt + 1) % qErrorRecentCap
+	e.ringN++
+}
+
+// evictStaleLocked removes one entry whose fingerprint differs from the live
+// one, preferring the least-executed stale entry (the cheapest feedback to
+// lose). It reports whether a slot was freed. Until SetLive declares a live
+// fingerprint the table keeps the historical drop-new-keys behaviour: with
+// no refresh loop there is no notion of staleness.
+func (t *QErrorTable) evictStaleLocked() bool {
+	if t.live == "" {
+		return false
+	}
+	var victim qKey
+	var victimCount int64 = -1
+	for k, e := range t.entries {
+		if e.Fingerprint == t.live {
+			continue
+		}
+		if victimCount < 0 || e.Count < victimCount {
+			victim, victimCount = k, e.Count
+		}
+	}
+	if victimCount < 0 {
+		return false
+	}
+	delete(t.entries, victim)
+	return true
 }
 
 // Report returns a copy of every entry, worst MaxQ first (ties to the more
@@ -99,7 +200,9 @@ func (t *QErrorTable) Report() []QErrorEntry {
 	t.mu.Lock()
 	out := make([]QErrorEntry, 0, len(t.entries))
 	for _, e := range t.entries {
-		out = append(out, *e)
+		c := *e
+		c.Recent = e.recentLocked()
+		out = append(out, c)
 	}
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
@@ -150,6 +253,10 @@ func RecordQError(fingerprint, node string, est float64, rows int64) {
 // QErrorReport returns the process-wide feedback table's entries, worst
 // q-error first — the seam adaptive re-planning consumes.
 func QErrorReport() []QErrorEntry { return defaultQErrors.Report() }
+
+// SetLiveFingerprint announces the currently-serving statistics fingerprint
+// to the process-wide feedback table (see QErrorTable.SetLive).
+func SetLiveFingerprint(fingerprint string) { defaultQErrors.SetLive(fingerprint) }
 
 // ResetQErrors empties the process-wide feedback table (tests and
 // statistics refreshes).

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestQErrorEvictionPrefersStaleFingerprints pins the eviction policy: when
+// the table is full, a new key evicts an entry recorded under a stale
+// statistics fingerprint (anything other than SetLive's) before dropping the
+// observation, and live entries are only dropped when everything is live.
+func TestQErrorEvictionPrefersStaleFingerprints(t *testing.T) {
+	tbl := NewQErrorTable(4)
+	tbl.SetLive("live")
+	tbl.Record("stale", "n0", 10, 1)
+	tbl.Record("stale", "n1", 10, 1)
+	tbl.Record("live", "n0", 10, 1)
+	tbl.Record("live", "n1", 10, 1)
+	if tbl.Len() != 4 {
+		t.Fatalf("Len = %d, want full table of 4", tbl.Len())
+	}
+
+	// A new live key must land by evicting one of the stale entries.
+	tbl.Record("live", "n2", 10, 1)
+	if tbl.Len() != 4 {
+		t.Fatalf("Len = %d after eviction, want 4", tbl.Len())
+	}
+	stale, live := 0, 0
+	seen := map[string]bool{}
+	for _, e := range tbl.Report() {
+		seen[e.Fingerprint+"/"+e.Node] = true
+		if e.Fingerprint == "live" {
+			live++
+		} else {
+			stale++
+		}
+	}
+	if live != 3 || stale != 1 {
+		t.Fatalf("after eviction live=%d stale=%d, want 3 live / 1 stale", live, stale)
+	}
+	if !seen["live/n2"] {
+		t.Fatal("new live key was dropped instead of evicting a stale entry")
+	}
+
+	// Among stale entries, the least-executed one goes first.
+	tbl2 := NewQErrorTable(2)
+	tbl2.SetLive("live")
+	tbl2.Record("stale", "hot", 10, 1)
+	tbl2.Record("stale", "hot", 10, 1)
+	tbl2.Record("stale", "cold", 10, 1)
+	tbl2.Record("live", "n0", 10, 1)
+	for _, e := range tbl2.Report() {
+		if e.Fingerprint == "stale" && e.Node != "hot" {
+			t.Fatalf("evicted the hot stale entry, kept %q", e.Node)
+		}
+	}
+
+	// With only live entries, new keys are dropped (bounded table).
+	tbl3 := NewQErrorTable(1)
+	tbl3.SetLive("live")
+	tbl3.Record("live", "n0", 10, 1)
+	tbl3.Record("live", "n1", 10, 1)
+	if tbl3.Len() != 1 {
+		t.Fatalf("Len = %d, want new key dropped when all entries are live", tbl3.Len())
+	}
+	for _, e := range tbl3.Report() {
+		if e.Node != "n0" {
+			t.Fatalf("kept %q, want the original live entry", e.Node)
+		}
+	}
+
+	// Nil-safety of the new surface.
+	var nilT *QErrorTable
+	nilT.SetLive("x")
+	var nilE *QErrorEntry
+	if nilE.MedianRecent(3) != 0 {
+		t.Fatal("nil entry median should be 0")
+	}
+}
+
+func TestQErrorMedianRecent(t *testing.T) {
+	tbl := NewQErrorTable(0)
+	// Record q-errors 10,10,10 then 1000,1000,1000: est=1 vs rows=q.
+	for _, q := range []int64{10, 10, 10, 1000, 1000, 1000} {
+		tbl.Record("fp", "n", 1, q)
+	}
+	rep := tbl.Report()
+	if len(rep) != 1 {
+		t.Fatalf("want 1 entry, got %d", len(rep))
+	}
+	e := rep[0]
+	if len(e.Recent) != 6 {
+		t.Fatalf("Recent = %v, want 6 observations", e.Recent)
+	}
+	if got := e.MedianRecent(3); got != 1000 {
+		t.Fatalf("median of last 3 = %v, want 1000", got)
+	}
+	if got := e.MedianRecent(6); got != 505 {
+		t.Fatalf("median of last 6 = %v, want 505", got)
+	}
+	if got := e.MedianRecent(7); got != 0 {
+		t.Fatalf("median with too-large window = %v, want 0 (insufficient data)", got)
+	}
+	if got := e.MedianRecent(0); got != 0 {
+		t.Fatalf("median over full ring with only 6 obs = %v, want 0", got)
+	}
+
+	// The ring wraps: after more than qErrorRecentCap observations only the
+	// most recent qErrorRecentCap are retained, oldest first.
+	tbl2 := NewQErrorTable(0)
+	total := qErrorRecentCap + 5
+	for i := 0; i < total; i++ {
+		tbl2.Record("fp", "n", 1, int64(i+1))
+	}
+	e2 := tbl2.Report()[0]
+	if len(e2.Recent) != qErrorRecentCap {
+		t.Fatalf("Recent holds %d, want %d", len(e2.Recent), qErrorRecentCap)
+	}
+	wantFirst := QError(1, int64(total-qErrorRecentCap+1))
+	if e2.Recent[0] != wantFirst || e2.Recent[len(e2.Recent)-1] != QError(1, int64(total)) {
+		t.Fatalf("ring order wrong: first=%v last=%v", e2.Recent[0], e2.Recent[len(e2.Recent)-1])
+	}
+	if got := e2.MedianRecent(0); got <= 0 {
+		t.Fatalf("full-ring median = %v, want > 0", got)
+	}
+}
+
+// TestQErrorTableEvictStress keeps Record/SetLive/Report racing to shake out
+// locking mistakes around the new eviction path (run with -race).
+func TestQErrorTableEvictStress(t *testing.T) {
+	tbl := NewQErrorTable(8)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				fp := fmt.Sprintf("fp%d", i%3)
+				if i%7 == 0 {
+					tbl.SetLive(fp)
+				}
+				tbl.Record(fp, fmt.Sprintf("n%d", (w+i)%16), float64(i%9+1), int64(i%5+1))
+				if i%50 == 0 {
+					for _, e := range tbl.Report() {
+						e.MedianRecent(4)
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if tbl.Len() > 8 {
+		t.Fatalf("table grew past its cap: %d", tbl.Len())
+	}
+}

@@ -109,6 +109,37 @@ func (db *Database) CloneSchema() *Database {
 	return out
 }
 
+// Clone returns a deep, fully-independent copy of db: the constant
+// dictionary, relation schema and every tuple are copied, and Values keep
+// their meaning (the dictionary copy preserves indices). Unlike CloneSchema
+// — whose shards share the dictionary by reference — a Clone may intern and
+// ingest freely while readers keep using db, which is what lets a serving
+// daemon apply mutations off to the side and publish the result with an
+// atomic pointer swap.
+func (db *Database) Clone() *Database {
+	names := append([]string(nil), *db.names...)
+	out := &Database{
+		dict:  make(map[string]Value, len(db.dict)),
+		names: &names,
+		rels:  make(map[string]*Relation, len(db.rels)),
+		order: append([]string(nil), db.order...),
+	}
+	for s, v := range db.dict {
+		out.dict[s] = v
+	}
+	for name, r := range db.rels {
+		c := &Relation{Name: r.Name, Arity: r.Arity, data: append([]Value(nil), r.data...)}
+		if r.index != nil {
+			c.index = make(map[string]bool, len(r.index))
+			for k, v := range r.index {
+				c.index[k] = v
+			}
+		}
+		out.rels[name] = c
+	}
+	return out
+}
+
 // MaxRelationSize returns max tuples over all relations (the paper's r).
 func (db *Database) MaxRelationSize() int {
 	m := 0

@@ -286,3 +286,51 @@ func nestedLoopJoin(a, b *Table) *Table {
 	out.dedup()
 	return out
 }
+
+func TestCloneIsDeepAndIndependent(t *testing.T) {
+	db := NewDatabase()
+	if err := db.ParseFacts("r(a,b). r(b,c). s(a)."); err != nil {
+		t.Fatal(err)
+	}
+	clone := db.Clone()
+
+	// Same content, same Value meaning.
+	if clone.UniverseSize() != db.UniverseSize() {
+		t.Fatalf("universe %d != %d", clone.UniverseSize(), db.UniverseSize())
+	}
+	for _, name := range db.RelationNames() {
+		if got, want := clone.Relation(name).StringWith(clone), db.Relation(name).StringWith(db); got != want {
+			t.Fatalf("relation %s differs after clone:\n%s\nvs\n%s", name, got, want)
+		}
+	}
+	va, _ := db.Lookup("a")
+	ca, ok := clone.Lookup("a")
+	if !ok || ca != va {
+		t.Fatalf("clone Value for a = %d, want %d", ca, va)
+	}
+
+	// Mutating the clone must not leak into the original: new constants,
+	// new tuples, dedup of existing tuples.
+	if err := clone.AddFact("r", "fresh", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.AddFact("r", "a", "b"); err != nil { // duplicate: ignored
+		t.Fatal(err)
+	}
+	if db.Relation("r").Rows() != 2 || clone.Relation("r").Rows() != 3 {
+		t.Fatalf("rows db=%d clone=%d, want 2/3", db.Relation("r").Rows(), clone.Relation("r").Rows())
+	}
+	if _, leaked := db.Lookup("fresh"); leaked {
+		t.Fatal("interning into the clone leaked into the original dictionary")
+	}
+	if db.UniverseSize() != 3 || clone.UniverseSize() != 4 {
+		t.Fatalf("universe db=%d clone=%d, want 3/4", db.UniverseSize(), clone.UniverseSize())
+	}
+	// And the original keeps working independently.
+	if err := db.AddFact("s", "z"); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Relation("s").Rows() != 1 {
+		t.Fatal("original mutation leaked into the clone")
+	}
+}

@@ -16,30 +16,58 @@ const histBuckets = 40
 // (one mutex, one increment), cheap to export, and accurate to a factor of
 // two at the tail — the right trade for an always-on admin endpoint. The
 // zero value is ready to use; safe for concurrent use.
+//
+// Buckets may additionally carry an exemplar: the trace ID of the most
+// recent traced observation that landed in them (ObserveExemplar), which is
+// what lets the metrics endpoint answer "show me a trace from the p99
+// bucket" — find the bucket the quantile falls in, follow its exemplar.
 type Histogram struct {
-	mu     sync.Mutex
-	counts [histBuckets]uint64
-	count  uint64
-	sum    uint64 // total microseconds
-	max    uint64 // largest single observation, microseconds
+	mu        sync.Mutex
+	counts    [histBuckets]uint64
+	exemplars [histBuckets]bucketExemplar
+	count     uint64
+	sum       uint64 // total microseconds
+	max       uint64 // largest single observation, microseconds
 }
 
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	us := uint64(0)
-	if d > 0 {
-		us = uint64(d.Microseconds())
-	}
+// bucketExemplar is the most recent traced observation of one bucket.
+type bucketExemplar struct {
+	traceID string
+	micros  uint64
+	unixSec float64 // observation wall-clock time, unix seconds
+}
+
+// bucketFor returns the log₂ bucket index of a microsecond value.
+func bucketFor(us uint64) int {
 	b := 0
 	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
 		b++
 	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveExemplar(d, "") }
+
+// ObserveExemplar records one latency sample and, when traceID is
+// non-empty, makes it the exemplar of the bucket the sample lands in
+// (replacing any earlier exemplar — the freshest trace is the one an
+// operator can still correlate).
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	us := uint64(0)
+	if d > 0 {
+		us = uint64(d.Microseconds())
+	}
+	b := bucketFor(us)
 	h.mu.Lock()
 	h.counts[b]++
 	h.count++
 	h.sum += us
 	if us > h.max {
 		h.max = us
+	}
+	if traceID != "" {
+		h.exemplars[b] = bucketExemplar{traceID: traceID, micros: us, unixSec: float64(time.Now().UnixNano()) / 1e9}
 	}
 	h.mu.Unlock()
 }
@@ -54,10 +82,16 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	o.mu.Lock()
 	counts, count, sum, max := o.counts, o.count, o.sum, o.max
+	exemplars := o.exemplars
 	o.mu.Unlock()
 	h.mu.Lock()
 	for i, c := range counts {
 		h.counts[i] += c
+	}
+	for i, e := range exemplars {
+		if e.traceID != "" && e.unixSec > h.exemplars[i].unixSec {
+			h.exemplars[i] = e
+		}
 	}
 	h.count += count
 	h.sum += sum
@@ -82,6 +116,25 @@ type HistogramSnapshot struct {
 	P95Micros  float64  `json:"p95_us"`
 	P99Micros  float64  `json:"p99_us"`
 	Buckets    []uint64 `json:"buckets,omitempty"`
+	// Exemplars holds, per occupied bucket that saw a traced observation,
+	// the trace ID of its freshest traced sample — the bridge from a latency
+	// bucket back to a full execution trace.
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// A BucketExemplar links one histogram bucket to the trace of its most
+// recent traced observation.
+type BucketExemplar struct {
+	// Bucket is the log₂ bucket index the observation landed in (bucket b
+	// spans [2^b, 2^(b+1)) µs).
+	Bucket int `json:"bucket"`
+	// TraceID is the 32-hex-digit trace identity (Trace.TraceID), usable to
+	// correlate with exported OTel spans.
+	TraceID string `json:"trace_id"`
+	// Micros is the exemplar observation's latency.
+	Micros uint64 `json:"us"`
+	// UnixSeconds is the observation's wall-clock time.
+	UnixSeconds float64 `json:"unix_s"`
 }
 
 // Snapshot returns a consistent point-in-time export of the histogram.
@@ -94,6 +147,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Buckets = make([]uint64, histBuckets)
 	copy(s.Buckets, h.counts[:])
+	for b, e := range h.exemplars {
+		if e.traceID != "" {
+			s.Exemplars = append(s.Exemplars, BucketExemplar{Bucket: b, TraceID: e.traceID, Micros: e.micros, UnixSeconds: e.unixSec})
+		}
+	}
 	s.MeanMicros = float64(h.sum) / float64(h.count)
 	s.P50Micros = h.quantileLocked(0.50)
 	s.P95Micros = h.quantileLocked(0.95)

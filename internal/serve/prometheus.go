@@ -26,6 +26,15 @@ func writePromMetrics(w io.Writer, m Metrics) {
 	promSample(w, "slow_queries_total", "Executions at or over the slow-query threshold.", "counter", float64(m.SlowQueries))
 	promSample(w, "inflight", "Worker slots currently executing a plan.", "gauge", float64(m.Inflight))
 	promSample(w, "max_inflight", "Admission bound on concurrent plan executions.", "gauge", float64(m.MaxInflight))
+	promSample(w, "stats_refresh_total", "Statistics snapshot refreshes installed (timed, q-error-triggered and forced).", "counter", float64(m.StatsRefreshes))
+	promSample(w, "stats_refresh_triggered_total", "Statistics refreshes forced by the q-error feedback trigger.", "counter", float64(m.StatsRefreshesTriggered))
+	promSample(w, "ingest_total", "Database mutations applied via /admin/ingest.", "counter", float64(m.Ingests))
+	promSample(w, "trace_sampled_total", "Executions traced by the 1-in-N sampler.", "counter", float64(m.TraceSampled))
+	promSample(w, "trace_sample_every", "Sampling period: one trace every N executions (0 when sampling is off).", "gauge", float64(m.TraceSampleEvery))
+	promSample(w, "spans_exported_total", "Traces shipped through the OTel span exporter.", "counter", float64(m.SpansExported))
+	promSample(w, "span_export_failures_total", "OTel span exports that errored.", "counter", float64(m.SpanExportFailures))
+	fmt.Fprintf(w, "# HELP %s_stats_info Live statistics snapshot identity.\n# TYPE %s_stats_info gauge\n%s_stats_info{fingerprint=%q} 1\n",
+		promNamespace, promNamespace, promNamespace, m.StatsFingerprint)
 	promSample(w, "plan_cache_hits_total", "Plan cache hits.", "counter", float64(m.Cache.Hits))
 	promSample(w, "plan_cache_misses_total", "Plan cache misses (fresh compiles).", "counter", float64(m.Cache.Misses))
 	promSample(w, "plan_cache_evictions_total", "Plans evicted by LRU displacement or TTL expiry.", "counter", float64(m.Cache.Evictions))
@@ -47,7 +56,11 @@ func promSample(w io.Writer, name, help, typ string, v float64) {
 // promHistograms writes one histogram family with a snapshot per label
 // value: cumulative buckets up to the last occupied one, the mandatory
 // +Inf bucket, and the _sum/_count pair. Label values are sorted so the
-// exposition is deterministic (scrape diffing, tests).
+// exposition is deterministic (scrape diffing, tests). Buckets that saw a
+// traced observation carry an OpenMetrics exemplar annotation —
+// `# {trace_id="..."} value timestamp` — linking the bucket to the trace ID
+// of its freshest traced sample, so a scrape of the p99 bucket names a
+// concrete trace to go look at.
 func promHistograms(w io.Writer, name, help, label string, hists map[string]HistogramSnapshot) {
 	fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n",
 		promNamespace, name, help, promNamespace, name)
@@ -64,14 +77,23 @@ func promHistograms(w io.Writer, name, help, label string, hists map[string]Hist
 				last = b
 			}
 		}
+		exemplars := map[int]BucketExemplar{}
+		for _, e := range h.Exemplars {
+			exemplars[e.Bucket] = e
+		}
 		cum := uint64(0)
 		for b := 0; b <= last; b++ {
 			cum += h.Buckets[b]
 			// Bucket b holds [2^b, 2^(b+1)) µs, so its `le` bound is
 			// 2^(b+1) µs expressed in seconds.
 			le := float64(uint64(1)<<(b+1)) / 1e6
-			fmt.Fprintf(w, "%s_%s_bucket{%s=%q,le=%q} %d\n",
+			fmt.Fprintf(w, "%s_%s_bucket{%s=%q,le=%q} %d",
 				promNamespace, name, label, k, promFloat(le), cum)
+			if e, ok := exemplars[b]; ok {
+				fmt.Fprintf(w, " # {trace_id=%q} %s %s",
+					e.TraceID, promFloat(float64(e.Micros)/1e6), promFloat(e.UnixSeconds))
+			}
+			fmt.Fprintln(w)
 		}
 		fmt.Fprintf(w, "%s_%s_bucket{%s=%q,le=\"+Inf\"} %d\n", promNamespace, name, label, k, h.Count)
 		fmt.Fprintf(w, "%s_%s_sum{%s=%q} %s\n", promNamespace, name, label, k, promFloat(float64(h.SumMicros)/1e6))

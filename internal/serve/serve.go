@@ -103,6 +103,22 @@ type Config struct {
 	// set: os.Stderr). The Server serialises writes; each line is one
 	// self-contained JSON object.
 	SlowQueryLog io.Writer
+	// StatsRefresh re-collects the statistics snapshot on this period and
+	// atomically swaps it in (0: no timed refresh). Plans already compiled
+	// stay valid; fingerprint-keyed PlanCache slots re-rank on their next
+	// compile.
+	StatsRefresh time.Duration
+	// QErrorThreshold arms the feedback-triggered refresh: when the
+	// process-wide QErrorReport shows some node's median q-error over its
+	// last QErrorWindow executions under the live fingerprint above this
+	// value, the snapshot is refreshed ahead of the timer (0: trigger off).
+	QErrorThreshold float64
+	// QErrorWindow is the consecutive-execution window the trigger's median
+	// is taken over (≤ 0: stats.DefaultQErrorWindow).
+	QErrorWindow int
+	// RefreshCooldown is the minimum spacing between feedback-triggered
+	// refreshes (≤ 0: stats.DefaultCooldown).
+	RefreshCooldown time.Duration
 }
 
 // withDefaults resolves every unset Config field.
@@ -135,13 +151,25 @@ func (c Config) withDefaults() Config {
 // PlanCache — and hands out its HTTP surface via Handler. Create with New,
 // serve Handler() through an *http.Server, and Close after draining. Safe
 // for concurrent use.
+//
+// The database and statistics snapshot live behind atomic pointers: ingest
+// (POST /admin/ingest) builds a mutated deep copy off to the side and swaps
+// it in, and the StatsRefresher swaps fresh statistics, while in-flight
+// executions keep the immutable snapshots they started with. Because
+// PlanCache keys embed the statistics fingerprint, a swap never invalidates
+// or collides — each query simply re-ranks under the new fingerprint on its
+// next compile.
 type Server struct {
 	cfg       Config
-	db        *hypertree.Database
-	stats     *hypertree.Stats
+	db        atomic.Pointer[hypertree.Database]
+	stats     atomic.Pointer[hypertree.Stats]
 	cache     *hypertree.PlanCache
-	opts      []hypertree.CompileOption
+	baseOpts  []hypertree.CompileOption // per-request opts = baseOpts + WithCostModel(live stats)
 	startedAt time.Time
+
+	sampler   *hypertree.TraceSampler // 1-in-N always-on tracing, nil when off
+	exporter  *hypertree.OTLPExporter // OTel span sink, nil when off
+	refresher *hypertree.StatsRefresher
 
 	baseCtx context.Context // execution lifecycle: outlives closed listeners
 	stop    context.CancelFunc
@@ -151,12 +179,15 @@ type Server struct {
 	mu     sync.Mutex
 	flight map[string]*flightCall
 
+	ingestMu sync.Mutex // serialises clone-mutate-swap ingests
+
 	requests    atomic.Uint64 // /query requests received
 	errors      atomic.Uint64 // /query non-2xx responses
 	rejected    atomic.Uint64 // admission 503s (also counted in errors)
 	executions  atomic.Uint64 // plan executions actually run (leaders)
 	coalesced   atomic.Uint64 // requests served by joining an in-flight twin
 	slowQueries atomic.Uint64 // executions at/over the slow-query threshold
+	ingests     atomic.Uint64 // /admin/ingest mutations applied
 
 	histMu sync.Mutex
 	hists  map[string]*Histogram // per-route request latency
@@ -168,6 +199,25 @@ type Server struct {
 	// after admission and before compile+execute — the hook drain and
 	// coalescing tests use to hold a request measurably in flight.
 	testExecGate func()
+}
+
+// An Option tunes a Server beyond its Config — the knobs that carry
+// behaviour (samplers, exporters) rather than plain values.
+type Option func(*Server)
+
+// WithTraceSampling turns on always-on production tracing: every nth /query
+// execution that would otherwise run untraced gets a trace, feeding the
+// q-error table, the histogram exemplars and the span exporter at 1/n of
+// the tracing overhead. n ≤ 0 leaves sampling off.
+func WithTraceSampling(n int) Option {
+	return func(s *Server) { s.sampler = hypertree.NewTraceSampler(n) }
+}
+
+// WithSpanExporter ships every traced execution's spans through e (see
+// hypertree.NewOTLPFileExporter / NewOTLPHTTPExporter). Export failures are
+// counted by the exporter and never fail the request.
+func WithSpanExporter(e *hypertree.OTLPExporter) Option {
+	return func(s *Server) { s.exporter = e }
 }
 
 // flightCall is one in-flight single-flight execution: the leader publishes
@@ -183,7 +233,8 @@ type flightCall struct {
 type flightResult struct {
 	plan          *hypertree.Plan
 	table         *hypertree.Table
-	boolean       bool // table is the 0/1-row rendering of a Boolean verdict
+	db            *hypertree.Database // the snapshot the leader executed against
+	boolean       bool                // table is the 0/1-row rendering of a Boolean verdict
 	compileMicros int64
 	execMicros    int64
 	trace         *hypertree.Trace // non-nil when the leader traced
@@ -191,8 +242,10 @@ type flightResult struct {
 }
 
 // New builds a Server over cfg.DB, collecting a sampled statistics snapshot
-// when cfg.Stats is nil. The returned Server is ready to serve.
-func New(cfg Config) (*Server, error) {
+// when cfg.Stats is nil. The returned Server is ready to serve; when Config
+// arms a timed or q-error-triggered statistics refresh, its loop runs until
+// Close.
+func New(cfg Config, opts ...Option) (*Server, error) {
 	if cfg.DB == nil {
 		return nil, fmt.Errorf("serve: Config.DB is required")
 	}
@@ -204,8 +257,6 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
-		db:        cfg.DB,
-		stats:     st,
 		cache:     hypertree.NewPlanCacheTTL(cfg.CacheSize, cfg.CacheTTL),
 		startedAt: time.Now(),
 		baseCtx:   ctx,
@@ -215,19 +266,54 @@ func New(cfg Config) (*Server, error) {
 		hists:     map[string]*Histogram{},
 		stages:    map[string]*Histogram{},
 	}
-	// One option slice for every request: identical options (and one stats
-	// fingerprint) mean every α-equivalent query shares one cache slot.
-	s.opts = []hypertree.CompileOption{
+	s.db.Store(cfg.DB)
+	s.installStats(st)
+	// The options shared by every request; each compile appends
+	// WithCostModel(live snapshot), so identical options (and one stats
+	// fingerprint at a time) mean every α-equivalent query shares one cache
+	// slot per snapshot.
+	s.baseOpts = []hypertree.CompileOption{
 		hypertree.WithAutoStrategy(),
-		hypertree.WithCostModel(st),
 		hypertree.WithStepBudget(cfg.StepBudget),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.refresher = hypertree.NewStatsRefresher(hypertree.StatsRefresherConfig{
+		Collect:         func() *hypertree.Stats { return hypertree.CollectStatsSampled(s.db.Load(), 0) },
+		Install:         s.installStats,
+		Interval:        cfg.StatsRefresh,
+		QErrorThreshold: cfg.QErrorThreshold,
+		Window:          cfg.QErrorWindow,
+		Cooldown:        cfg.RefreshCooldown,
+		Live:            func() string { return s.stats.Load().Fingerprint() },
+	})
+	if cfg.StatsRefresh > 0 || cfg.QErrorThreshold > 0 {
+		go s.refresher.Run(s.baseCtx)
 	}
 	return s, nil
 }
 
-// Close cancels the lifecycle context behind every in-flight execution.
-// Call it after http.Server.Shutdown has drained the listeners (Shutdown
-// first, so in-flight requests finish; Close then reaps stragglers).
+// installStats publishes a statistics snapshot: the atomic swap every
+// subsequent compile picks up, plus the live-fingerprint announcement that
+// protects the snapshot's q-error feedback from eviction.
+func (s *Server) installStats(st *hypertree.Stats) {
+	s.stats.Store(st)
+	hypertree.SetLiveStatsFingerprint(st.Fingerprint())
+}
+
+// compileOpts returns the compile options for one request: the shared base
+// plus the cost model of the live statistics snapshot. The snapshot is
+// captured once per call so a concurrent refresh cannot split one compile
+// across two fingerprints.
+func (s *Server) compileOpts(st *hypertree.Stats) []hypertree.CompileOption {
+	return append(s.baseOpts[:len(s.baseOpts):len(s.baseOpts)], hypertree.WithCostModel(st))
+}
+
+// Close cancels the lifecycle context behind every in-flight execution (and
+// the statistics-refresh loop). Call it after http.Server.Shutdown has
+// drained the listeners (Shutdown first, so in-flight requests finish;
+// Close then reaps stragglers).
 func (s *Server) Close() { s.stop() }
 
 // Cache exposes the server's PlanCache (metrics, purge on reload).
@@ -239,6 +325,9 @@ func (s *Server) Cache() *hypertree.PlanCache { return s.cache }
 //	GET  /admin/metrics       counters and latency histograms (Prometheus text)
 //	GET  /admin/metrics.json  the same snapshot as JSON
 //	GET  /admin/explain       compiled-plan report for ?query=... (text)
+//	GET  /admin/qerror        the q-error feedback table as JSON
+//	POST /admin/ingest        add facts to the served database (atomic swap)
+//	POST /admin/refresh       force a statistics refresh now
 //	GET  /debug/pprof/...     the standard Go profiles
 //	GET  /healthz             liveness
 func (s *Server) Handler() http.Handler {
@@ -247,6 +336,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /admin/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /admin/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /admin/explain", s.handleExplain)
+	mux.HandleFunc("GET /admin/qerror", s.handleQError)
+	mux.HandleFunc("POST /admin/ingest", s.handleIngest)
+	mux.HandleFunc("POST /admin/refresh", s.handleRefresh)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -483,12 +575,25 @@ func (s *Server) evaluate(reqCtx context.Context, key string, q *hypertree.Query
 // logs slow queries, which needs one ready before it knows the query is
 // slow — the whole pipeline runs under a per-request trace carried by the
 // context, so the shared compile options (and with them the PlanCache keys)
-// are identical with tracing on or off.
+// are identical with tracing on or off. Executions neither of those traced
+// are offered to the 1-in-N sampler, which is what keeps the q-error
+// feedback table (and the refresh trigger behind it) fed in production.
+// Every trace that was recorded feeds the per-stage histogram exemplars and
+// the span exporter.
 func (s *Server) compileAndExecute(ctx context.Context, key string, q *hypertree.Query, wantTrace bool) flightResult {
-	var res flightResult
+	// Capture both snapshots once: a concurrent ingest or statistics
+	// refresh swaps the pointers for later requests, never mid-flight.
+	db := s.db.Load()
+	st := s.stats.Load()
+	res := flightResult{db: db}
 	if wantTrace || s.cfg.SlowQuery > 0 {
 		res.trace = hypertree.NewTrace()
+	} else {
+		res.trace = s.sampler.Sample() // nil unless this execution is the Nth
+	}
+	if res.trace != nil {
 		ctx = hypertree.ContextWithTrace(ctx, res.trace)
+		defer func() { s.exporter.Export(res.trace) }()
 	}
 	if s.cfg.SlowQuery > 0 {
 		slowStart := time.Now()
@@ -498,19 +603,20 @@ func (s *Server) compileAndExecute(ctx context.Context, key string, q *hypertree
 			}
 		}()
 	}
+	traceID := res.trace.TraceID()
 	t0 := time.Now()
-	plan, err := s.cache.Compile(ctx, q, s.opts...)
+	plan, err := s.cache.Compile(ctx, q, s.compileOpts(st)...)
 	res.compileMicros = time.Since(t0).Microseconds()
-	s.stageHist("compile").Observe(time.Since(t0))
+	s.stageHist("compile").ObserveExemplar(time.Since(t0), traceID)
 	if err != nil {
 		res.err = err
 		return res
 	}
 	res.plan = plan
 	t1 := time.Now()
-	res.table, res.err = plan.Execute(ctx, s.db)
+	res.table, res.err = plan.Execute(ctx, db)
 	res.execMicros = time.Since(t1).Microseconds()
-	s.stageHist("execute").Observe(time.Since(t1))
+	s.stageHist("execute").ObserveExemplar(time.Since(t1), traceID)
 	res.boolean = q.IsBoolean()
 	return res
 }
@@ -608,7 +714,10 @@ func (s *Server) render(q *hypertree.Query, key string, res *flightResult, coale
 		row := res.table.Row(i)
 		named := make([]string, len(row))
 		for j, val := range row {
-			named[j] = s.db.ValueName(val)
+			// Render against the database snapshot the leader executed on:
+			// a concurrent ingest may already have swapped in a successor
+			// whose dictionary this result's Values do not index safely.
+			named[j] = res.db.ValueName(val)
 		}
 		out.Rows = append(out.Rows, named)
 	}
@@ -640,6 +749,24 @@ type Metrics struct {
 	// slots and the admission bound.
 	Inflight    int `json:"inflight"`
 	MaxInflight int `json:"max_inflight"`
+	// StatsFingerprint identifies the live statistics snapshot; it moves on
+	// every refresh, and PlanCache keys embed it.
+	StatsFingerprint string `json:"stats_fingerprint"`
+	// StatsRefreshes counts installed snapshot refreshes (timed, q-error-
+	// triggered and forced via POST /admin/refresh); StatsRefreshesTriggered
+	// is the q-error-triggered subset.
+	StatsRefreshes          uint64 `json:"stats_refreshes"`
+	StatsRefreshesTriggered uint64 `json:"stats_refreshes_triggered"`
+	// Ingests counts applied POST /admin/ingest mutations.
+	Ingests uint64 `json:"ingests"`
+	// TraceSampleEvery echoes the 1-in-N sampling configuration (0: off);
+	// TraceSampled counts executions the sampler actually traced.
+	TraceSampleEvery int    `json:"trace_sample_every"`
+	TraceSampled     uint64 `json:"trace_sampled"`
+	// SpansExported and SpanExportFailures count OTel trace exports (both 0
+	// without an exporter).
+	SpansExported      uint64 `json:"spans_exported"`
+	SpanExportFailures uint64 `json:"span_export_failures"`
 	// Cache snapshots the PlanCache counters; CacheHitRate is
 	// Hits/(Hits+Misses) (0 before the first compile), and CacheCapacity /
 	// CacheTTLSeconds echo the configuration.
@@ -660,20 +787,28 @@ type Metrics struct {
 func (s *Server) Metrics() Metrics {
 	cm := s.cache.Metrics()
 	m := Metrics{
-		UptimeSeconds:   time.Since(s.startedAt).Seconds(),
-		Requests:        s.requests.Load(),
-		Errors:          s.errors.Load(),
-		Rejected:        s.rejected.Load(),
-		Executions:      s.executions.Load(),
-		Coalesced:       s.coalesced.Load(),
-		SlowQueries:     s.slowQueries.Load(),
-		Inflight:        len(s.sem),
-		MaxInflight:     s.cfg.MaxInflight,
-		Cache:           cm,
-		CacheCapacity:   s.cache.Capacity(),
-		CacheTTLSeconds: s.cache.TTL().Seconds(),
-		Routes:          map[string]HistogramSnapshot{},
-		Stages:          map[string]HistogramSnapshot{},
+		UptimeSeconds:           time.Since(s.startedAt).Seconds(),
+		Requests:                s.requests.Load(),
+		Errors:                  s.errors.Load(),
+		Rejected:                s.rejected.Load(),
+		Executions:              s.executions.Load(),
+		Coalesced:               s.coalesced.Load(),
+		SlowQueries:             s.slowQueries.Load(),
+		Inflight:                len(s.sem),
+		MaxInflight:             s.cfg.MaxInflight,
+		StatsFingerprint:        s.stats.Load().Fingerprint(),
+		StatsRefreshes:          s.refresher.Refreshes(),
+		StatsRefreshesTriggered: s.refresher.Triggered(),
+		Ingests:                 s.ingests.Load(),
+		TraceSampleEvery:        s.sampler.N(),
+		TraceSampled:            s.sampler.Sampled(),
+		SpansExported:           s.exporter.Exported(),
+		SpanExportFailures:      s.exporter.Failed(),
+		Cache:                   cm,
+		CacheCapacity:           s.cache.Capacity(),
+		CacheTTLSeconds:         s.cache.TTL().Seconds(),
+		Routes:                  map[string]HistogramSnapshot{},
+		Stages:                  map[string]HistogramSnapshot{},
 	}
 	if cm.Hits+cm.Misses > 0 {
 		m.CacheHitRate = float64(cm.Hits) / float64(cm.Hits+cm.Misses)
@@ -720,7 +855,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.DefaultTimeout)
 	defer cancel()
-	plan, err := s.cache.Compile(ctx, q, s.opts...)
+	plan, err := s.cache.Compile(ctx, q, s.compileOpts(s.stats.Load())...)
 	if err != nil {
 		s.writeJSON(w, statusFor(err), ErrorResponse{Error: err.Error()})
 		return
@@ -728,6 +863,157 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, plan.Explain())
 }
+
+// IngestRequest is the POST /admin/ingest payload: ground facts in the
+// standard "rel(a, b)." syntax, one or more per line.
+type IngestRequest struct {
+	// Facts holds the ground atoms to add (rel(a,b). syntax; duplicates of
+	// existing tuples are ignored by set semantics).
+	Facts string `json:"facts"`
+}
+
+// IngestResponse reports one applied ingest.
+type IngestResponse struct {
+	// FactsAdded is how many tuples the database actually grew by (posted
+	// duplicates do not count).
+	FactsAdded int `json:"facts_added"`
+	// Rows maps every relation to its post-ingest cardinality.
+	Rows map[string]int `json:"rows"`
+	// StatsFingerprint is the live statistics fingerprint — unchanged by
+	// ingest itself; it moves when the refresher (or POST /admin/refresh)
+	// re-collects.
+	StatsFingerprint string `json:"stats_fingerprint"`
+}
+
+// handleIngest implements POST /admin/ingest: parse the posted facts into a
+// deep copy of the served database and atomically swap the copy in.
+// In-flight executions keep the snapshot they started with; statistics are
+// deliberately NOT re-collected here — they go stale by design, and the
+// q-error feedback loop (or the refresh timer, or POST /admin/refresh) is
+// what brings them back in line. Ingests are serialised; queries are not
+// blocked at any point.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.hist("/admin/ingest").Observe(time.Since(start)) }()
+	var req IngestRequest
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	s.ingestMu.Lock()
+	cur := s.db.Load()
+	next := cur.Clone()
+	if err := next.ParseFacts(req.Facts); err != nil {
+		s.ingestMu.Unlock()
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.db.Store(next)
+	s.ingestMu.Unlock()
+	s.ingests.Add(1)
+
+	resp := IngestResponse{Rows: map[string]int{}, StatsFingerprint: s.stats.Load().Fingerprint()}
+	for _, name := range next.RelationNames() {
+		resp.Rows[name] = next.Relation(name).Rows()
+		if old := cur.Relation(name); old != nil {
+			resp.FactsAdded += next.Relation(name).Rows() - old.Rows()
+		} else {
+			resp.FactsAdded += next.Relation(name).Rows()
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// RefreshResponse reports one forced statistics refresh.
+type RefreshResponse struct {
+	// StatsFingerprint is the fingerprint of the freshly-installed snapshot.
+	StatsFingerprint string `json:"stats_fingerprint"`
+	// Refreshes is the cumulative refresh count (timed + triggered +
+	// forced), including this one.
+	Refreshes uint64 `json:"refreshes"`
+}
+
+// handleRefresh implements POST /admin/refresh: re-collect sampled
+// statistics from the live database and install the snapshot now,
+// independent of the timer and the q-error trigger.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.hist("/admin/refresh").Observe(time.Since(start)) }()
+	st := s.refresher.Refresh()
+	s.writeJSON(w, http.StatusOK, RefreshResponse{
+		StatsFingerprint: st.Fingerprint(),
+		Refreshes:        s.refresher.Refreshes(),
+	})
+}
+
+// QErrorStatus is the GET /admin/qerror payload: the process-wide q-error
+// feedback table plus the fingerprint currently serving, which is what lets
+// a load harness compare estimation quality before and after a refresh.
+type QErrorStatus struct {
+	// LiveFingerprint is the installed statistics snapshot's fingerprint.
+	LiveFingerprint string `json:"live_fingerprint"`
+	// Entries lists the feedback table, worst MaxQ first.
+	Entries []QErrorEntryStatus `json:"entries"`
+}
+
+// QErrorEntryStatus is one feedback-table entry rendered for JSON consumers.
+type QErrorEntryStatus struct {
+	// Fingerprint keys the statistics snapshot the estimates were priced
+	// against; Live flags whether it is the currently-serving one.
+	Fingerprint string `json:"fingerprint"`
+	Live        bool   `json:"live"`
+	// Node labels the decomposition node.
+	Node string `json:"node"`
+	// Count, MaxQ and MeanQ summarise all recorded executions.
+	Count int64   `json:"count"`
+	MaxQ  float64 `json:"max_q"`
+	MeanQ float64 `json:"mean_q"`
+	// MedianRecent is the median q-error over the entry's retained recent
+	// executions (up to the feedback ring size) — the refresh trigger's
+	// signal.
+	MedianRecent float64 `json:"median_recent"`
+}
+
+// handleQError implements GET /admin/qerror.
+func (s *Server) handleQError(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.hist("/admin/qerror").Observe(time.Since(start)) }()
+	live := s.stats.Load().Fingerprint()
+	status := QErrorStatus{LiveFingerprint: live}
+	for _, e := range hypertree.QErrorReport() {
+		st := QErrorEntryStatus{
+			Fingerprint:  e.Fingerprint,
+			Live:         e.Fingerprint == live,
+			Node:         e.Node,
+			Count:        e.Count,
+			MaxQ:         e.MaxQ,
+			MeanQ:        e.MeanQ,
+			MedianRecent: e.MedianRecent(min(len(e.Recent), qWindowOrDefault(s.cfg.QErrorWindow))),
+		}
+		status.Entries = append(status.Entries, st)
+	}
+	s.writeJSON(w, http.StatusOK, status)
+}
+
+// qWindowOrDefault resolves the configured q-error window.
+func qWindowOrDefault(w int) int {
+	if w > 0 {
+		return w
+	}
+	return hypertree.DefaultQErrorWindow
+}
+
+// Refresher exposes the server's statistics refresher (metrics, tests,
+// admin tooling).
+func (s *Server) Refresher() *hypertree.StatsRefresher { return s.refresher }
+
+// LiveStats returns the currently-installed statistics snapshot.
+func (s *Server) LiveStats() *hypertree.Stats { return s.stats.Load() }
+
+// LiveDB returns the currently-served database snapshot (an ingest swaps in
+// a successor; earlier snapshots stay valid for readers holding them).
+func (s *Server) LiveDB() *hypertree.Database { return s.db.Load() }
 
 // hist returns (creating on first use) the named route histogram.
 func (s *Server) hist(route string) *Histogram {

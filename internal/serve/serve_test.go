@@ -19,12 +19,12 @@ import (
 )
 
 // newTestServer builds a Server over the standard serving workload.
-func newTestServer(t *testing.T, cfg Config) *Server {
+func newTestServer(t *testing.T, cfg Config, opts ...Option) *Server {
 	t.Helper()
 	if cfg.DB == nil {
 		cfg.DB = gen.ServingDatabase(rand.New(rand.NewSource(7)), 200, 60)
 	}
-	s, err := New(cfg)
+	s, err := New(cfg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,6 +25,31 @@ func CollectStatsSampled(db *Database, sample int) *Stats {
 	return stats.CollectSampled(db, sample)
 }
 
+// A StatsRefresher closes the observe→detect→refresh→re-plan loop: it
+// re-collects statistics and installs the fresh snapshot through a caller
+// callback (typically an atomic pointer swap in a serving daemon), on a
+// timer and/or when the QErrorReport feedback shows some node's median
+// q-error over its last-N executions under the live fingerprint exceeding a
+// threshold. Because PlanCache keys embed the statistics fingerprint, an
+// installed snapshot re-ranks every query on its next compile with no cache
+// invalidation and no restart. Create with NewStatsRefresher.
+type StatsRefresher = stats.Refresher
+
+// StatsRefresherConfig configures a StatsRefresher: the Collect/Install
+// callbacks (required) plus the timer interval, q-error trigger threshold,
+// window and cooldown (all defaulted).
+type StatsRefresherConfig = stats.RefresherConfig
+
+// NewStatsRefresher returns a StatsRefresher over cfg; it panics when the
+// Collect or Install callback is missing.
+func NewStatsRefresher(cfg StatsRefresherConfig) *StatsRefresher {
+	return stats.NewRefresher(cfg)
+}
+
+// DefaultQErrorWindow is the default consecutive-execution window a
+// StatsRefresher's q-error trigger takes node medians over.
+const DefaultQErrorWindow = stats.DefaultQErrorWindow
+
 // WithStats makes compilation cost-based against db: a sampled statistics
 // snapshot is collected (CollectStatsSampled with the default bound) and
 // threaded through the whole planning pipeline — the heuristic engines

@@ -2,6 +2,7 @@ package hypertree
 
 import (
 	"context"
+	"io"
 
 	"hypertree/internal/obs"
 )
@@ -61,11 +62,63 @@ type QErrorEntry = obs.QErrorEntry
 // table, worst q-error first: every traced execution records, per
 // decomposition node, how far the planner's estimate sat from the
 // materialised cardinality, keyed by the statistics fingerprint the
-// estimate was priced against. It is the seam adaptive re-planning will
-// consume — a systematically wrong entry names the exact node whose plan
-// should be re-raced against reality.
+// estimate was priced against. It is the seam adaptive re-planning
+// consumes — a systematically wrong entry names the exact node whose plan
+// should be re-raced against reality (see StatsRefresher for the consumer
+// that closes the loop).
 func QErrorReport() []QErrorEntry { return obs.QErrorReport() }
 
 // ResetQErrorReport empties the process-wide feedback table (tests, or a
 // statistics refresh that invalidates old fingerprints).
 func ResetQErrorReport() { obs.ResetQErrors() }
+
+// SetLiveStatsFingerprint announces the currently-serving statistics
+// fingerprint to the process-wide feedback table: when the table is full,
+// entries recorded under any other (stale) fingerprint are evicted before
+// new observations are dropped, so feedback for the live snapshot survives
+// a history of refreshes.
+func SetLiveStatsFingerprint(fingerprint string) { obs.SetLiveFingerprint(fingerprint) }
+
+// A TraceSampler decides which requests carry a trace when tracing is
+// always-on: every Nth Sample call returns a fresh trace, the rest return
+// nil (and a nil *Trace costs nothing). Safe for concurrent use; a nil
+// sampler never samples. Create with NewTraceSampler.
+type TraceSampler = obs.Sampler
+
+// NewTraceSampler returns a 1-in-n trace sampler (n ≤ 0 disables sampling
+// by returning nil, which is a valid inert sampler).
+func NewTraceSampler(n int) *TraceSampler { return obs.NewSampler(n) }
+
+// An OTLPExporter ships traces as OpenTelemetry OTLP/JSON — to a local
+// file/writer sink (newline-delimited payloads) or POSTed to an OTLP/HTTP
+// traces endpoint — with the span taxonomy mapped onto OTel spans: shared
+// trace IDs, deterministic span IDs, parenthood inferred from span interval
+// containment, and kernel/node/shard/rows/estimate/q-error attributes. The
+// encoding is hand-rolled (no SDK dependency); see MarshalOTLP for the raw
+// payload. All methods are nil-safe and safe for concurrent use.
+type OTLPExporter = obs.OTLPExporter
+
+// NewOTLPFileExporter returns an exporter appending newline-delimited
+// OTLP/JSON payloads to the file at path (created or appended to).
+func NewOTLPFileExporter(path, service string) (*OTLPExporter, error) {
+	return obs.NewOTLPFileExporter(path, service)
+}
+
+// NewOTLPWriterExporter returns an exporter appending newline-delimited
+// OTLP/JSON payloads to w.
+func NewOTLPWriterExporter(w io.Writer, service string) *OTLPExporter {
+	return obs.NewOTLPWriterExporter(w, service)
+}
+
+// NewOTLPHTTPExporter returns an exporter POSTing each trace's OTLP/JSON
+// payload to an OTLP/HTTP traces endpoint (typically
+// http://host:4318/v1/traces).
+func NewOTLPHTTPExporter(endpoint, service string) *OTLPExporter {
+	return obs.NewOTLPHTTPExporter(endpoint, service)
+}
+
+// MarshalOTLP encodes the completed spans of the given traces as one
+// OpenTelemetry OTLP/JSON traces payload for the named service.
+func MarshalOTLP(service string, traces ...*Trace) ([]byte, error) {
+	return obs.MarshalOTLP(service, traces...)
+}
