@@ -71,6 +71,18 @@ func (p *Plan) Explain() string {
 	if p.dec.Root != nil {
 		visit(p.dec.Root, 0)
 	}
+	// Kernel decisions live on the evaluator's completed tree (Complete
+	// clones and may extend the decomposition), so they are reported from
+	// NodeInfos rather than the visit above.
+	if p.eval != nil {
+		if infos := p.eval.NodeInfos(); len(infos) > 0 {
+			fmt.Fprintf(&b, "  kernel selection (policy %s):\n", p.JoinKernel())
+			for _, info := range infos {
+				indent := strings.Repeat("  ", info.Depth+2)
+				fmt.Fprintf(&b, "%s%s → %s\n", indent, info.Label, info.Kernel)
+			}
+		}
+	}
 	return b.String()
 }
 
@@ -153,6 +165,9 @@ func (p *Plan) ExplainAnalyze() string {
 		for _, info := range p.eval.NodeInfos() {
 			indent := strings.Repeat("  ", info.Depth+1)
 			fmt.Fprintf(&b, "%s%s", indent, info.Label)
+			if info.Kernel != "" {
+				fmt.Fprintf(&b, " kernel=%s", info.Kernel)
+			}
 			s, ok := nodeSpans[info.ID]
 			switch {
 			case !ok:

@@ -1,0 +1,95 @@
+package hdeval
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"hypertree/internal/relation"
+)
+
+// This file is the plan-level Columnar encoding cache. The leapfrog kernel
+// needs every λ relation encoded into sorted, dictionary-coded columns — a
+// counting-sort pass per column — and without caching that work reruns on
+// every Execute and in every bag sharing the relation. The cache lives on
+// the Evaluator (hence on the compiled Plan: hdserve's warm PlanCache keeps
+// it hot across requests) and is keyed by (λ edge, column order) within a
+// single database generation: entries are tied to the *relation.Database
+// pointer they were built from, so an /admin/ingest snapshot swap — which
+// installs a new Database — invalidates everything at the first touch, with
+// no epoch bookkeeping.
+
+// encCacheHits and encCacheMisses are process-wide encode-cache counters,
+// exported on /admin/metrics as hdserve_columnar_cache_{hits,misses}_total.
+var (
+	encCacheHits   atomic.Uint64
+	encCacheMisses atomic.Uint64
+)
+
+// ColumnarCacheCounters returns the process-wide Columnar encoding-cache
+// hit/miss totals (monotonic since process start).
+func ColumnarCacheCounters() (hits, misses uint64) {
+	return encCacheHits.Load(), encCacheMisses.Load()
+}
+
+// encKey identifies one cached encoding: the λ edge whose bound atom table
+// was encoded, and the column order it was encoded under.
+type encKey struct {
+	edge  int
+	order string
+}
+
+// encCache is the single-generation encoding cache. All entries belong to
+// one database snapshot; a get against a different database resets the
+// generation. Builds run outside the lock — two goroutines racing on one
+// key both encode and the loser's work is discarded, the same discipline as
+// rootBuilder's atom-table memo.
+type encCache struct {
+	mu      sync.Mutex
+	db      *relation.Database
+	entries map[encKey]*relation.Columnar
+}
+
+// get returns the cached encoding for key under db, building and caching it
+// via build on a miss. A nil error from build is required for the entry to
+// be stored.
+func (c *encCache) get(db *relation.Database, key encKey, build func() (*relation.Columnar, error)) (*relation.Columnar, error) {
+	c.mu.Lock()
+	if c.db != db {
+		c.db = db
+		c.entries = map[encKey]*relation.Columnar{}
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		encCacheHits.Add(1)
+		return e, nil
+	}
+	c.mu.Unlock()
+	encCacheMisses.Add(1)
+	enc, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	// Store only if the generation still matches; a concurrent execution
+	// against a swapped database must not see this snapshot's encodings.
+	if c.db == db {
+		if prior, ok := c.entries[key]; ok {
+			enc = prior
+		} else {
+			c.entries[key] = enc
+		}
+	}
+	c.mu.Unlock()
+	return enc, nil
+}
+
+// orderKey renders a column order as a cache-key string.
+func orderKey(order []int) string {
+	b := make([]byte, 0, 4*len(order))
+	for _, v := range order {
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}

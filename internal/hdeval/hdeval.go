@@ -23,6 +23,7 @@ import (
 	"hypertree/internal/decomp"
 	"hypertree/internal/obs"
 	"hypertree/internal/relation"
+	"hypertree/internal/stats"
 	"hypertree/internal/yannakakis"
 )
 
@@ -35,15 +36,19 @@ type Evaluator struct {
 	Q  *cq.Query
 	HD *decomp.Decomposition // completed per Lemma 4.4
 
-	edgeToAtom []int
-	head       []int
-	chiElems   map[*decomp.Node][]int
-	edgeRows   []float64                // per-edge cardinality estimates (nil: no statistics)
-	lamOrder   map[*decomp.Node][]int   // λ edges in evaluation order (ascending estimate)
-	nodeID     map[*decomp.Node]int     // preorder index over the completed tree
-	infos      []NodeInfo               // per-node identity/estimate, indexed by nodeID
-	kernel     Kernel                   // intra-bag join kernel policy
-	lfNodes    map[*decomp.Node]*lfNode // nodes running the leapfrog kernel, with their orders
+	edgeToAtom  []int
+	head        []int
+	chiElems    map[*decomp.Node][]int
+	edgeRows    []float64                // per-edge cardinality estimates (nil: no statistics)
+	edgeStats   *stats.EdgeStats         // per-edge rows + distincts for cost-aware kernel choice (nil: arity rule)
+	lamOrder    map[*decomp.Node][]int   // λ edges in evaluation order (ascending estimate)
+	nodeID      map[*decomp.Node]int     // preorder index over the completed tree
+	infos       []NodeInfo               // per-node identity/estimate, indexed by nodeID
+	kernel      Kernel                   // intra-bag join kernel policy
+	lfNodes     map[*decomp.Node]*lfNode // nodes running the leapfrog kernel, with their orders
+	kernelOf    map[*decomp.Node]string  // per-node kernel decision, qualified (see decideKernel)
+	lfFallbacks int                      // nodes where the policy chose leapfrog but no plan exists
+	enc         encCache                 // plan-level Columnar encoding cache (interior mutability)
 }
 
 // NodeInfo identifies one node of the evaluator's completed decomposition
@@ -61,6 +66,12 @@ type NodeInfo struct {
 	// EstRows is the planner's estimated cardinality of the node table
 	// (0 when the plan carries no statistics).
 	EstRows float64
+	// Kernel is the decided intra-bag join kernel, qualified with how the
+	// decision was made: "chain"/"leapfrog" under a forced policy,
+	// "…(cost)" for a statistics-priced auto decision, "…(arity)" for the
+	// statistics-free fallback rule, and "chain(fallback)" when the policy
+	// chose leapfrog but the node has no leapfrog plan.
+	Kernel string
 }
 
 // NodeInfos returns the completed tree's node records in preorder. The
@@ -94,12 +105,32 @@ func NewEvaluatorStats(q *cq.Query, hd *decomp.Decomposition, edgeRows []float64
 // leapfrog triejoin — never its result, so evaluators with different
 // kernels return identical tables.
 func NewEvaluatorKernel(q *cq.Query, hd *decomp.Decomposition, edgeRows []float64, kernel Kernel) (*Evaluator, error) {
+	var es *stats.EdgeStats
+	if edgeRows != nil {
+		es = &stats.EdgeStats{Rows: edgeRows}
+	}
+	return NewEvaluatorCost(q, hd, es, kernel)
+}
+
+// NewEvaluatorCost is the full-information constructor: es carries per-edge
+// row estimates (steering join and child orders exactly as
+// NewEvaluatorStats describes) plus per-edge distinct counts, which arm the
+// cost-aware auto kernel — each bag's λ-join is priced as a hash chain vs a
+// leapfrog encode+enumerate and the cheaper kernel is decided per node (see
+// kernelcost.go). es nil, or with no Distinct slice, degrades to the arity
+// rule for auto. Kernel decisions never change results, only the work to
+// produce them.
+func NewEvaluatorCost(q *cq.Query, hd *decomp.Decomposition, es *stats.EdgeStats, kernel Kernel) (*Evaluator, error) {
 	if hd == nil || hd.H == nil || (hd.Root == nil && hd.H.NumEdges() > 0) {
 		return nil, fmt.Errorf("hdeval: nil decomposition")
 	}
 	head, err := HeadVars(q)
 	if err != nil {
 		return nil, err
+	}
+	var edgeRows []float64
+	if es != nil {
+		edgeRows = es.Rows
 	}
 	complete := hd.Complete()
 	_, edgeToAtom := q.Hypergraph()
@@ -110,9 +141,11 @@ func NewEvaluatorKernel(q *cq.Query, hd *decomp.Decomposition, edgeRows []float6
 		head:       head,
 		chiElems:   map[*decomp.Node][]int{},
 		edgeRows:   edgeRows,
+		edgeStats:  es,
 		lamOrder:   map[*decomp.Node][]int{},
 		kernel:     kernel,
 		lfNodes:    map[*decomp.Node]*lfNode{},
+		kernelOf:   map[*decomp.Node]string{},
 	}
 	if edgeRows != nil {
 		// The completion may have added fresh ⟨χ=var(e), λ={e}⟩ nodes with no
@@ -125,19 +158,46 @@ func NewEvaluatorKernel(q *cq.Query, hd *decomp.Decomposition, edgeRows []float6
 			}
 		}
 	}
+	// Parent links steer each node's χ column order: the variables shared
+	// with the parent come first (ascending), the rest after (ascending).
+	// This exposes the reducer's semijoin variables as a sorted column
+	// prefix, which is what makes the merge-semijoin kernel applicable to
+	// the up- and down-pass (see relation.MergeSemijoin); the reordering is
+	// answer-neutral — node tables are sets keyed by variable, and the head
+	// projection fixes the final column order.
+	parent := map[*decomp.Node]*decomp.Node{}
+	var link func(n *decomp.Node)
+	link = func(n *decomp.Node) {
+		for _, c := range n.Children {
+			parent[c] = n
+			link(c)
+		}
+	}
+	if complete.Root != nil {
+		link(complete.Root)
+	}
 	for _, n := range complete.Nodes() {
-		e.chiElems[n] = n.Chi.Elems()
+		chi := n.Chi.Elems()
+		if p := parent[n]; p != nil {
+			shared := make([]int, 0, len(chi))
+			rest := make([]int, 0, len(chi))
+			for _, v := range chi {
+				if p.Chi.Has(v) {
+					shared = append(shared, v)
+				} else {
+					rest = append(rest, v)
+				}
+			}
+			chi = append(shared, rest...)
+		}
+		e.chiElems[n] = chi
 		e.lamOrder[n] = e.orderLambda(n)
 		if edgeRows != nil {
 			sort.SliceStable(n.Children, func(i, j int) bool {
 				return n.Children[i].EstRows < n.Children[j].EstRows
 			})
 		}
-		if e.useLeapfrog(n) {
-			if p := e.lfPlanFor(n); p != nil {
-				e.lfNodes[n] = p
-			}
-		}
+		e.decideKernel(n)
 	}
 	// Node identity for tracing: preorder over the final (post-reorder)
 	// tree, so span Node fields and EXPLAIN ANALYZE agree on which node is
@@ -151,6 +211,7 @@ func NewEvaluatorKernel(q *cq.Query, hd *decomp.Decomposition, edgeRows []float6
 			Depth:   depth,
 			Label:   e.nodeLabel(n),
 			EstRows: n.EstRows,
+			Kernel:  e.kernelOf[n],
 		})
 		for _, c := range n.Children {
 			index(c, depth+1)
@@ -161,6 +222,11 @@ func NewEvaluatorKernel(q *cq.Query, hd *decomp.Decomposition, edgeRows []float6
 	}
 	return e, nil
 }
+
+// LeapfrogFallbacks returns how many nodes the kernel policy selected for
+// leapfrog but had to fall back to the chain on (no leapfrog plan exists —
+// a χ variable outside var(λ), impossible on complete decompositions).
+func (e *Evaluator) LeapfrogFallbacks() int { return e.lfFallbacks }
 
 // nodeLabel renders a node's χ and λ sets by name.
 func (e *Evaluator) nodeLabel(n *decomp.Node) string {
@@ -279,19 +345,22 @@ func (b *rootBuilder) bind(e2 int) (*relation.Table, error) {
 
 // materialize joins the λ relations of n — in the evaluator's precomputed
 // order, i.e. ascending estimated cardinality when statistics are attached
-// — and projects to χ. Under a traced context the build is recorded as one
-// SpanNode carrying the join count and the actual vs estimated cardinality.
-func (b *rootBuilder) materialize(n *decomp.Node) (*relation.Table, error) {
+// — and projects to χ. Leapfrog nodes additionally return the sorted
+// columnar encoding of the table (their output is born sorted), which the
+// full reducer merge-semijoins over; chain nodes return a nil encoding.
+// Under a traced context the build is recorded as one SpanNode carrying
+// the join count and the actual vs estimated cardinality.
+func (b *rootBuilder) materialize(n *decomp.Node) (*relation.Table, *relation.Columnar, error) {
 	if lf := b.e.lfNodes[n]; lf != nil {
 		return b.materializeLeapfrog(n, lf)
 	}
 	sp := b.tr.StartSpan(obs.SpanNode)
-	sp.SetKernel(string(KernelChain))
+	sp.SetKernel(b.e.kernelOf[n])
 	var joined *relation.Table
 	for _, e2 := range b.e.lamOrder[n] {
 		t, err := b.bind(e2)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if joined == nil {
 			joined = t
@@ -301,7 +370,7 @@ func (b *rootBuilder) materialize(n *decomp.Node) (*relation.Table, error) {
 		}
 	}
 	if joined == nil {
-		return nil, fmt.Errorf("hdeval: decomposition node with empty λ")
+		return nil, nil, fmt.Errorf("hdeval: decomposition node with empty λ")
 	}
 	out := joined.Project(b.e.chiElems[n])
 	if id, ok := b.e.nodeID[n]; ok {
@@ -311,18 +380,18 @@ func (b *rootBuilder) materialize(n *decomp.Node) (*relation.Table, error) {
 	sp.SetEst(n.EstRows)
 	sp.SetRows(out.Rows())
 	sp.End()
-	return out, nil
+	return out, nil, nil
 }
 
 func (b *rootBuilder) buildSeq(n *decomp.Node) (*yannakakis.Node, error) {
 	if err := b.ctx.Err(); err != nil {
 		return nil, err
 	}
-	t, err := b.materialize(n)
+	t, enc, err := b.materialize(n)
 	if err != nil {
 		return nil, err
 	}
-	out := &yannakakis.Node{Table: t}
+	out := &yannakakis.Node{Table: t, Enc: enc}
 	for _, c := range n.Children {
 		cn, err := b.buildSeq(c)
 		if err != nil {
@@ -351,7 +420,7 @@ func (b *rootBuilder) buildPar(n *decomp.Node) (*yannakakis.Node, error) {
 		}(i, c)
 	}
 	b.sem <- struct{}{}
-	t, err := b.materialize(n)
+	t, enc, err := b.materialize(n)
 	<-b.sem
 	wg.Wait()
 	if err != nil {
@@ -362,7 +431,7 @@ func (b *rootBuilder) buildPar(n *decomp.Node) (*yannakakis.Node, error) {
 			return nil, cerr
 		}
 	}
-	return &yannakakis.Node{Table: t, Children: children}, nil
+	return &yannakakis.Node{Table: t, Enc: enc, Children: children}, nil
 }
 
 // Boolean decides the query against db by the bottom-up semijoin pass.

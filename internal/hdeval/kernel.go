@@ -27,10 +27,15 @@ type Kernel string
 
 // The available kernels. KernelChain is the left-deep binary hash-join
 // chain (the historical default); KernelLeapfrog forces the columnar
-// leapfrog-triejoin on every node; KernelAuto picks leapfrog per node when
-// the bag joins at least three relations, or at least two under a
-// fractional cover (where the AGM bound r^fhw certifies the kernel's
-// worst-case optimality), and stays with the chain elsewhere.
+// leapfrog-triejoin on every node; KernelAuto decides per bag. With
+// statistics attached (NewEvaluatorCost) the auto decision is cost-based:
+// each bag's λ-join is priced as a hash chain versus a leapfrog
+// encode+enumerate from per-edge row and distinct-count estimates, capped
+// by the AGM bound under fractional covers (see kernelcost.go). Without
+// usable statistics auto falls back to the arity rule — leapfrog when the
+// bag joins at least three relations, or at least two under a fractional
+// cover — and every decision is recorded per node (NodeInfo.Kernel, span
+// kernel attributes, Plan.Explain).
 const (
 	KernelChain    Kernel = "chain"
 	KernelLeapfrog Kernel = "leapfrog"
@@ -58,19 +63,6 @@ type lfNode struct {
 
 // Kernel returns the evaluator's configured join kernel.
 func (e *Evaluator) Kernel() Kernel { return e.kernel }
-
-// useLeapfrog decides whether node n runs the leapfrog kernel under the
-// evaluator's kernel policy.
-func (e *Evaluator) useLeapfrog(n *decomp.Node) bool {
-	switch e.kernel {
-	case KernelLeapfrog:
-		return true
-	case KernelAuto:
-		lam := len(e.lamOrder[n])
-		return lam >= 3 || (lam >= 2 && n.Weights != nil)
-	}
-	return false
-}
 
 // lfPlanFor computes node n's leapfrog variable order, or nil when the node
 // must fall back to the chain (a χ variable outside var(λ) — impossible on
@@ -124,13 +116,13 @@ func (e *Evaluator) lfPlanFor(n *decomp.Node) *lfNode {
 // node carries fractional cover weights (an integral product of full
 // relation sizes over-allocates wildly). The hint is clamped — it sizes a
 // buffer, it does not limit results.
-func agmCapHint(n *decomp.Node, lam []int, tables []*relation.Table) int {
+func agmCapHint(n *decomp.Node, lam []int, rowsOf func(i int) int) int {
 	if n.Weights == nil {
 		return 0
 	}
 	rows := map[int]float64{}
 	for i, e2 := range lam {
-		rows[e2] = float64(tables[i].Rows())
+		rows[e2] = float64(rowsOf(i))
 	}
 	bound := fhd.AGMBound(n, func(e int) float64 { return rows[e] })
 	const maxHint = 1 << 22
@@ -140,23 +132,50 @@ func agmCapHint(n *decomp.Node, lam []int, tables []*relation.Table) int {
 	return int(bound)
 }
 
-// materializeLeapfrog is the leapfrog-kernel form of materialize: bind the
-// λ relations, run the multiway intersection over the node's precomputed
-// variable order, and take the sorted, already-distinct χ prefix as the
-// node table.
-func (b *rootBuilder) materializeLeapfrog(n *decomp.Node, lf *lfNode) (*relation.Table, error) {
-	sp := b.tr.StartSpan(obs.SpanNode)
-	sp.SetKernel(string(KernelLeapfrog))
-	lam := b.e.lamOrder[n]
-	tables := make([]*relation.Table, len(lam))
+// encodedLambda returns node n's λ relations in Columnar form under lf's
+// variable order, through the evaluator's encoding cache: within one
+// database generation each (edge, order) pair is encoded once — across
+// bags sharing the relation and across repeated executions under a warm
+// plan cache. On a cache hit the atom is not even bound (the column
+// convention comes from the atom's structure alone).
+func (b *rootBuilder) encodedLambda(lam []int, lf *lfNode) ([]*relation.Columnar, error) {
+	cols := make([]*relation.Columnar, len(lam))
 	for i, e2 := range lam {
-		t, err := b.bind(e2)
+		vars, err := atomBindVars(b.e.Q, b.e.edgeToAtom[e2])
 		if err != nil {
 			return nil, err
 		}
-		tables[i] = t
+		sub := relation.SubOrder(lf.order, vars)
+		e2 := e2
+		cols[i], err = b.e.enc.get(b.db, encKey{edge: e2, order: orderKey(sub)}, func() (*relation.Columnar, error) {
+			t, err := b.bind(e2)
+			if err != nil {
+				return nil, err
+			}
+			return relation.NewColumnar(t, sub), nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	out := relation.LeapfrogJoin(tables, lf.order, lf.nChi, agmCapHint(n, lam, tables))
+	return cols, nil
+}
+
+// materializeLeapfrog is the leapfrog-kernel form of materialize: encode
+// the λ relations (through the plan-level cache), run the multiway
+// intersection over the node's precomputed variable order, and take the
+// sorted, already-distinct χ prefix as the node table — re-encoded for
+// free (NewColumnarSorted) so the reducer can merge-semijoin it.
+func (b *rootBuilder) materializeLeapfrog(n *decomp.Node, lf *lfNode) (*relation.Table, *relation.Columnar, error) {
+	sp := b.tr.StartSpan(obs.SpanNode)
+	sp.SetKernel(b.e.kernelOf[n])
+	lam := b.e.lamOrder[n]
+	cols, err := b.encodedLambda(lam, lf)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := relation.LeapfrogJoinColumnar(cols, lf.order, lf.nChi, agmCapHint(n, lam, func(i int) int { return cols[i].Rows() }))
+	enc := relation.NewColumnarSorted(out)
 	sp.AddSteps(int64(len(lam) - 1))
 	if id, ok := b.e.nodeID[n]; ok {
 		sp.SetNode(id)
@@ -165,5 +184,5 @@ func (b *rootBuilder) materializeLeapfrog(n *decomp.Node, lf *lfNode) (*relation
 	sp.SetEst(n.EstRows)
 	sp.SetRows(out.Rows())
 	sp.End()
-	return out, nil
+	return out, enc, nil
 }

@@ -120,7 +120,7 @@ func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, er
 		return b.materializeShardedLeapfrog(n, lf)
 	}
 	sp := b.tr.StartSpan(obs.SpanNodeSharded)
-	sp.SetKernel(string(KernelChain))
+	sp.SetKernel(b.e.kernelOf[n])
 	// λ in the evaluator's order: ascending estimated cardinality when the
 	// plan carries statistics, input order otherwise — so the broadcast-side
 	// JoinIndex chain probes the most selective relations first, exactly as
@@ -221,12 +221,15 @@ func (b *shardedBuilder) materializeSharded(n *decomp.Node) (*relation.Table, er
 // materializeSharded. The pivot choice and the merge rule are identical to
 // the chain path — the kernel changes only how each shard computes its
 // χ-table. The broadcast λ relations are bound once against the assembled
-// view and encoded once into shared Columnars (immutable, so every shard
-// task leapfrogs over them concurrently through private iterators); each
-// shard encodes only its pivot fragment.
+// view and encoded into shared Columnars through the evaluator's encoding
+// cache — keyed on the assembled Database, so a warm plan skips both the
+// bind and the counting-sort on repeat executions (immutable, so every
+// shard task leapfrogs over them concurrently through private iterators).
+// Each shard still encodes its own pivot fragment: fragments are per-shard
+// views, not stable relations, so caching them would only churn the cache.
 func (b *shardedBuilder) materializeShardedLeapfrog(n *decomp.Node, lf *lfNode) (*relation.Table, error) {
 	sp := b.tr.StartSpan(obs.SpanNodeSharded)
-	sp.SetKernel(string(KernelLeapfrog))
+	sp.SetKernel(b.e.kernelOf[n])
 	lam := b.e.lamOrder[n]
 	if len(lam) == 0 {
 		return nil, fmt.Errorf("hdeval: decomposition node with empty λ")
@@ -246,18 +249,30 @@ func (b *shardedBuilder) materializeShardedLeapfrog(n *decomp.Node, lf *lfNode) 
 		if e2 == pivot {
 			continue
 		}
-		ft, err := b.full.bind(e2)
+		vars, err := atomBindVars(b.e.Q, b.e.edgeToAtom[e2])
 		if err != nil {
 			return nil, err
 		}
-		broadcast = append(broadcast, relation.NewColumnar(ft, relation.SubOrder(lf.order, ft.Vars)))
+		sub := relation.SubOrder(lf.order, vars)
+		e2 := e2
+		enc, err := b.e.enc.get(b.full.db, encKey{edge: e2, order: orderKey(sub)}, func() (*relation.Columnar, error) {
+			ft, err := b.full.bind(e2)
+			if err != nil {
+				return nil, err
+			}
+			return relation.NewColumnar(ft, sub), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		broadcast = append(broadcast, enc)
 	}
 	nodeIdx, hasID := b.e.nodeID[n]
 	parts, err := shard.Scatter(b.ctx, b.p, b.workers,
 		func(ctx context.Context, i int, db *relation.Database) (*relation.Table, error) {
 			ssp := b.tr.StartSpan(obs.SpanShard)
 			ssp.SetShard(i)
-			ssp.SetKernel(string(KernelLeapfrog))
+			ssp.SetKernel(b.e.kernelOf[n])
 			if hasID {
 				ssp.SetNode(nodeIdx)
 			}

@@ -168,6 +168,20 @@ func (t *Trace) Spans() []Span {
 	return out
 }
 
+// KernelCounts tallies the completed spans by their recorded join kernel
+// (spans with no kernel attribute are skipped) — a quick per-query view of
+// what the cost-aware selector actually chose, qualifier included, e.g.
+// {"leapfrog(cost)": 3, "chain(arity)": 1}.
+func (t *Trace) KernelCounts() map[string]int {
+	counts := map[string]int{}
+	for _, s := range t.Spans() {
+		if s.Kernel != "" {
+			counts[s.Kernel]++
+		}
+	}
+	return counts
+}
+
 // Len returns the number of completed spans.
 func (t *Trace) Len() int {
 	if t == nil {

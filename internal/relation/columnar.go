@@ -383,8 +383,17 @@ func (it *TrieIter) runEnd(d, p int) int {
 // gallop returns the first row in [from, hi[d]) whose code in column d is
 // ≥ target: exponential probe to bracket the boundary, then binary search.
 func (it *TrieIter) gallop(d, from int, target int32) int {
-	col := it.c.codes[d]
-	hi := it.hi[d]
+	return gallopCodes(it.c.codes[d], from, it.hi[d], target)
+}
+
+// gallopCodes returns the first row in [from, hi) whose code in col is ≥
+// target: exponential probe to bracket the boundary, then a branch-free
+// binary search over the bracket. The search keeps `base` at the last row
+// known < target and halves the span length; the body's single comparison
+// compiles to a conditional move, so seeks over incompressible code runs
+// pay no branch mispredictions. Shared by TrieIter (leapfrog seeks) and
+// MergeSemijoin (run skipping).
+func gallopCodes(col []int32, from, hi int, target int32) int {
 	if from >= hi || col[from] >= target {
 		return from
 	}
@@ -398,15 +407,15 @@ func (it *TrieIter) gallop(d, from int, target int32) int {
 	if lo+step < hi {
 		r = lo + step
 	}
-	// invariant: col[lo] < target ≤ col[r] (or r == hi); binary search (lo, r].
-	lo++
-	for lo < r {
-		mid := int(uint(lo+r) >> 1)
-		if col[mid] < target {
-			lo = mid + 1
-		} else {
-			r = mid
+	// invariant: col[lo] < target ≤ col[r] (or r == hi); the answer lies in
+	// (base, base+n] throughout the halving loop.
+	base, n := lo, r-lo
+	for n > 1 {
+		half := n >> 1
+		if col[base+half] < target {
+			base += half
 		}
+		n -= half
 	}
-	return lo
+	return base + 1
 }

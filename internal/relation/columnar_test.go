@@ -324,6 +324,228 @@ func sortRows(t *Table) {
 	}
 }
 
+func TestNewColumnarSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		tab := randomTable(rng, []int{2, 0, 5}, rng.Intn(60), 2+rng.Intn(8))
+		sortRows(tab)
+		c := NewColumnarSorted(tab)
+		if !c.Table().Equal(tab) {
+			t.Fatalf("trial %d: NewColumnarSorted round trip lost rows", trial)
+		}
+		// The encoding must agree with the sorting constructor, column order
+		// being the table's own.
+		want := NewColumnar(tab, tab.Vars)
+		if !c.Table().Equal(want.Table()) {
+			t.Fatalf("trial %d: sorted and sorting constructors disagree", trial)
+		}
+		for i := range c.codes {
+			for r := range c.codes[i] {
+				if c.codes[i][r] != want.codes[i][r] {
+					t.Fatalf("trial %d: code blocks differ at col %d row %d", trial, i, r)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSemijoinAlignedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		dom := 2 + rng.Intn(6)
+		tt := randomTable(rng, []int{0, 1, 2}, rng.Intn(80), dom)
+		ut := randomTable(rng, []int{0, 1, 3}, rng.Intn(80), dom)
+		tc := NewColumnar(tt, []int{0, 1, 2})
+		uc := NewColumnar(ut, []int{0, 1, 3})
+		out, ok := MergeSemijoin(tc, uc)
+		if !ok {
+			t.Fatalf("trial %d: aligned pair not merge-eligible", trial)
+		}
+		want := tt.Semijoin(ut)
+		if !out.Table().Equal(want) {
+			t.Fatalf("trial %d: aligned merge %d rows, hash %d rows", trial, out.Rows(), want.Rows())
+		}
+	}
+}
+
+func TestMergeSemijoinProbeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 60; trial++ {
+		dom := 2 + rng.Intn(6)
+		tt := randomTable(rng, []int{0, 1, 2}, rng.Intn(80), dom)
+		ut := randomTable(rng, []int{1, 3}, rng.Intn(80), dom)
+		// t's column order buries the shared variable 1 mid-order, so only
+		// the probe kernel applies.
+		tc := NewColumnar(tt, []int{2, 1, 0})
+		uc := NewColumnar(ut, []int{1, 3})
+		out, ok := MergeSemijoin(tc, uc)
+		if !ok {
+			t.Fatalf("trial %d: probe pair not merge-eligible", trial)
+		}
+		want := tt.Semijoin(ut)
+		if !out.Table().Equal(want) {
+			t.Fatalf("trial %d: probe merge %d rows, hash %d rows", trial, out.Rows(), want.Rows())
+		}
+	}
+}
+
+func TestMergeSemijoinEdges(t *testing.T) {
+	tt := tableOf([]int{0, 1}, []Value{1, 2}, []Value{3, 4})
+	tc := NewColumnar(tt, []int{0, 1})
+	// Shared variables not a prefix of u: not eligible.
+	u := NewColumnar(tableOf([]int{2, 0}, []Value{7, 1}), []int{2, 0})
+	if _, ok := MergeSemijoin(tc, u); ok {
+		t.Fatal("non-prefix u side must not be merge-eligible")
+	}
+	// No shared variables: u non-empty keeps everything, u empty keeps nothing.
+	full, ok := MergeSemijoin(tc, NewColumnar(tableOf([]int{5}, []Value{9}), []int{5}))
+	if !ok || full != tc {
+		t.Fatal("disjoint non-empty u must return t itself")
+	}
+	none, ok := MergeSemijoin(tc, NewColumnar(NewTable([]int{5}), []int{5}))
+	if !ok || none.Rows() != 0 {
+		t.Fatal("disjoint empty u must empty t")
+	}
+	// Empty t short-circuits; empty u with shared vars empties t.
+	et := NewColumnar(NewTable([]int{0, 1}), []int{0, 1})
+	if out, ok := MergeSemijoin(et, tc); !ok || out.Rows() != 0 {
+		t.Fatal("empty t must stay empty")
+	}
+	eu := NewColumnar(NewTable([]int{0, 9}), []int{0, 9})
+	if out, ok := MergeSemijoin(tc, eu); !ok || out.Rows() != 0 {
+		t.Fatal("empty u with shared vars must empty t")
+	}
+	// Unfiltered aligned merge returns t itself (no copy).
+	if out, ok := MergeSemijoin(tc, tc); !ok || out != tc {
+		t.Fatal("self-semijoin must return t unchanged")
+	}
+}
+
+func BenchmarkTrieIterSeek(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1 << 16
+	tab := NewTable([]int{0, 1})
+	for i := 0; i < n; i++ {
+		tab.addRow([]Value{Value(rng.Intn(n / 4)), Value(rng.Intn(64))})
+	}
+	tab.dedup()
+	c := NewColumnar(tab, []int{0, 1})
+	targets := make([]Value, 4096)
+	for i := range targets {
+		targets[i] = Value(rng.Intn(n / 4))
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := NewTrieIter(c)
+		it.Open()
+		for _, v := range targets {
+			it.Seek(v)
+			if it.AtEnd() {
+				break
+			}
+		}
+	}
+}
+
+// gallopCodesBranchy is the pre-optimisation gallop (branchy binary search),
+// kept here as the benchmark baseline for BenchmarkGallop.
+func gallopCodesBranchy(col []int32, from, hi int, target int32) int {
+	if from >= hi || col[from] >= target {
+		return from
+	}
+	lo, step := from, 1
+	for lo+step < hi && col[lo+step] < target {
+		lo += step
+		step <<= 1
+	}
+	r := hi
+	if lo+step < hi {
+		r = lo + step
+	}
+	lo++
+	for lo < r {
+		mid := int(uint(lo+r) >> 1)
+		if col[mid] < target {
+			lo = mid + 1
+		} else {
+			r = mid
+		}
+	}
+	return lo
+}
+
+func TestGallopCodesMatchesBranchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		col := make([]int32, n)
+		v := int32(0)
+		for i := range col {
+			v += int32(rng.Intn(3))
+			col[i] = v
+		}
+		from := rng.Intn(n)
+		target := int32(rng.Intn(int(v) + 2))
+		got := gallopCodes(col, from, n, target)
+		want := gallopCodesBranchy(col, from, n, target)
+		if got != want {
+			t.Fatalf("gallopCodes(from=%d, target=%d) = %d, branchy = %d", from, target, got, want)
+		}
+	}
+}
+
+func BenchmarkGallop(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	n := 1 << 18
+	col := make([]int32, n)
+	v := int32(0)
+	for i := range col {
+		v += int32(rng.Intn(3))
+		col[i] = v
+	}
+	targets := make([]int32, 1024)
+	for i := range targets {
+		targets[i] = int32(rng.Intn(int(v)))
+	}
+	b.Run("branchfree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range targets {
+				gallopCodes(col, 0, n, t)
+			}
+		}
+	})
+	b.Run("branchy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range targets {
+				gallopCodesBranchy(col, 0, n, t)
+			}
+		}
+	})
+}
+
+func BenchmarkMergeSemijoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	tt := randomTable(rng, []int{0, 1}, 50000, 4000)
+	ut := randomTable(rng, []int{0, 2}, 5000, 4000)
+	tc := NewColumnar(tt, []int{0, 1})
+	uc := NewColumnar(ut, []int{0, 2})
+	b.Run("merge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := MergeSemijoin(tc, uc); !ok {
+				b.Fatal("not eligible")
+			}
+		}
+	})
+	b.Run("hash", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tt.Semijoin(ut)
+		}
+	})
+}
+
 func BenchmarkLeapfrogTriangle(b *testing.B) {
 	rng := rand.New(rand.NewSource(17))
 	n, dom := 3000, 300

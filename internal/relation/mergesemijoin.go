@@ -1,0 +1,220 @@
+package relation
+
+// This file is the sort-based semijoin over Columnar blocks: because both
+// operands keep their rows lexicographically sorted, a semijoin reduces to
+// one linear merge of prefix runs with galloping skips — no hash table is
+// built and no row-major data is touched. yannakakis.Reduce uses it as the
+// full-reducer kernel whenever both sides of a semijoin carry encodings
+// whose column orders expose the shared variables as a prefix; the hash
+// Table.Semijoin stays as the universal fallback.
+
+// NewColumnarSorted copies t — whose rows must already be lexicographically
+// sorted by t.Vars — into columnar form without re-sorting. Dictionary codes
+// are order-isomorphic to values, so encoding preserves the sort; this is
+// how the leapfrog kernel's already-sorted join output becomes a reducer
+// encoding for the price of one dictionary pass.
+func NewColumnarSorted(t *Table) *Columnar {
+	w := len(t.Vars)
+	n := t.rows
+	cn := &Columnar{Vars: append([]int(nil), t.Vars...), dicts: make([]*Dict, w), codes: make([][]int32, w), rows: n}
+	colVals := make([]Value, n)
+	for i := 0; i < w; i++ {
+		for r := 0; r < n; r++ {
+			colVals[r] = t.data[r*w+i]
+		}
+		col := make([]int32, n)
+		cn.dicts[i] = newDictCodes(colVals, col)
+		cn.codes[i] = col
+	}
+	return cn
+}
+
+// MergeSemijoin returns t's rows whose shared-variable projection occurs in
+// u, or (nil, false) when the pair is not merge-eligible. Eligibility
+// requires the shared variables var(t) ∩ var(u) to be exactly u's first k
+// columns (as a set), so u can be navigated as a trie from its root. Two
+// kernels cover the eligible cases:
+//
+//   - aligned merge, when t's first k columns name the shared variables in
+//     u's exact order: one forward walk over t's distinct k-prefix runs,
+//     advancing a TrieIter on u with galloping seeks — strictly linear in
+//     the shorter side's runs, with log-sized skips over the longer;
+//   - trie probe, when t holds the shared variables elsewhere: each t row
+//     narrows u's sorted code blocks level by level (dictionary lookup +
+//     gallop), still with no hash table and no u-side projection build.
+//
+// The result shares t's dictionaries (codes are copied, filtered); when no
+// row is filtered the result is t itself. Row order — hence sortedness — is
+// preserved.
+func MergeSemijoin(t, u *Columnar) (*Columnar, bool) {
+	inT := make(map[int]bool, len(t.Vars))
+	for _, v := range t.Vars {
+		inT[v] = true
+	}
+	k := 0
+	for _, v := range u.Vars {
+		if inT[v] {
+			k++
+		}
+	}
+	// The shared variables must be exactly u.Vars[:k] as a set.
+	for _, v := range u.Vars[:k] {
+		if !inT[v] {
+			return nil, false
+		}
+	}
+	if k == 0 {
+		// No shared variables: the semijoin keeps everything iff u is
+		// non-empty (the Boolean convention Table.Semijoin follows too).
+		if u.rows > 0 {
+			return t, true
+		}
+		return t.selectRanges(nil, 0), true
+	}
+	if t.rows == 0 {
+		return t, true
+	}
+	if u.rows == 0 {
+		return t.selectRanges(nil, 0), true
+	}
+	aligned := k <= len(t.Vars)
+	for j := 0; j < k && aligned; j++ {
+		aligned = t.Vars[j] == u.Vars[j]
+	}
+	if aligned {
+		return t.mergeSemijoinAligned(u, k)
+	}
+	return t.mergeSemijoinProbe(u, k)
+}
+
+// mergeSemijoinAligned is the linear-merge kernel: both operands expose the
+// k shared variables as their first k columns in the same order.
+func (t *Columnar) mergeSemijoinAligned(u *Columnar, k int) (*Columnar, bool) {
+	it := NewTrieIter(u)
+	it.Open()
+	var ranges []int // kept row ranges, flattened [start0, end0, start1, ...]
+	kept := 0
+	ends := make([]int, k)
+	r0 := 0
+	d0 := 0      // first t column whose value changed versus the previous run
+	matched := 0 // u levels 0..matched-1 currently hold t's run prefix
+	for r0 < t.rows {
+		// Bracket the current run of t's k-prefix: nested galloped run ends,
+		// levels below d0 unchanged from the previous run.
+		bound := t.rows
+		if d0 > 0 {
+			bound = ends[d0-1]
+		}
+		for j := d0; j < k; j++ {
+			bound = gallopCodes(t.codes[j], r0+1, bound, t.codes[j][r0]+1)
+			ends[j] = bound
+		}
+		r1 := ends[k-1]
+		// If the first changed level sits below u's deepest failure, the
+		// failing prefix is unchanged — the whole run is doomed, skip it
+		// without touching the iterator.
+		if d0 <= matched {
+			for it.Depth() > d0 {
+				it.Up()
+			}
+			matched = d0
+			for j := d0; j < k; j++ {
+				if it.Depth() < j {
+					it.Open()
+				}
+				v := t.dicts[j].Value(t.codes[j][r0])
+				it.Seek(v)
+				if it.AtEnd() || it.Key() != v {
+					matched = j
+					break
+				}
+				matched = j + 1
+			}
+			if matched == k {
+				if n := len(ranges); n > 0 && ranges[n-1] == r0 {
+					ranges[n-1] = r1
+				} else {
+					ranges = append(ranges, r0, r1)
+				}
+				kept += r1 - r0
+			}
+		}
+		// First differing level of the next run: the shallowest nested run
+		// that ends exactly where this one does.
+		r0 = r1
+		d0 = 0
+		for d0 < k && ends[d0] != r1 {
+			d0++
+		}
+	}
+	if kept == t.rows {
+		return t, true
+	}
+	return t.selectRanges(ranges, kept), true
+}
+
+// mergeSemijoinProbe is the trie-probe kernel: u exposes the shared
+// variables as a prefix but t holds them at arbitrary positions, so each t
+// row narrows u's code blocks level by level.
+func (t *Columnar) mergeSemijoinProbe(u *Columnar, k int) (*Columnar, bool) {
+	tcol := make([]int, k)
+	for j := 0; j < k; j++ {
+		tcol[j] = -1
+		for i, v := range t.Vars {
+			if v == u.Vars[j] {
+				tcol[j] = i
+				break
+			}
+		}
+		if tcol[j] < 0 {
+			return nil, false
+		}
+	}
+	var ranges []int
+	kept := 0
+	for r := 0; r < t.rows; r++ {
+		lo, hi := 0, u.rows
+		ok := true
+		for j := 0; j < k; j++ {
+			v := t.dicts[tcol[j]].Value(t.codes[tcol[j]][r])
+			code, found := u.dicts[j].Code(v)
+			if !found {
+				ok = false
+				break
+			}
+			lo = gallopCodes(u.codes[j], lo, hi, code)
+			if lo >= hi || u.codes[j][lo] != code {
+				ok = false
+				break
+			}
+			hi = gallopCodes(u.codes[j], lo+1, hi, code+1)
+		}
+		if ok {
+			if n := len(ranges); n > 0 && ranges[n-1] == r {
+				ranges[n-1] = r + 1
+			} else {
+				ranges = append(ranges, r, r+1)
+			}
+			kept++
+		}
+	}
+	if kept == t.rows {
+		return t, true
+	}
+	return t.selectRanges(ranges, kept), true
+}
+
+// selectRanges copies the given flattened [start, end) row ranges into a new
+// Columnar sharing t's dictionaries. Ranges must be ascending and disjoint,
+// so the result stays lexicographically sorted.
+func (t *Columnar) selectRanges(ranges []int, kept int) *Columnar {
+	out := &Columnar{Vars: append([]int(nil), t.Vars...), dicts: t.dicts, codes: make([][]int32, len(t.Vars)), rows: kept}
+	for i := range t.codes {
+		col := make([]int32, 0, kept)
+		for p := 0; p < len(ranges); p += 2 {
+			col = append(col, t.codes[i][ranges[p]:ranges[p+1]]...)
+		}
+		out.codes[i] = col
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hypertree"
+)
+
+// An unknown kernel name must be rejected at construction, not at the first
+// query.
+func TestJoinKernelConfigRejected(t *testing.T) {
+	db := hypertree.NewDatabase()
+	if err := db.ParseFacts(`r1(a, b).`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{DB: db, JoinKernel: "turbo"}); err == nil {
+		t.Fatal("Config.JoinKernel \"turbo\" accepted")
+	}
+}
+
+// The Columnar encoding cache across the serving surface: a warm plan's
+// second execution hits the cache, an /admin/ingest database swap
+// invalidates it (fresh misses, answers from the new snapshot), and both
+// counters are exported on /admin/metrics.
+func TestColumnarCacheAcrossIngest(t *testing.T) {
+	s := newTestServer(t, Config{JoinKernel: "leapfrog"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const triangle = `r1(X, Y), r2(Y, Z), r3(Z, X)`
+	_, m0 := hypertree.ColumnarCacheMetrics()
+	if code, _, _ := post(t, ts.URL, QueryRequest{Query: triangle}); code != http.StatusOK {
+		t.Fatalf("first query: status %d", code)
+	}
+	h1, m1 := hypertree.ColumnarCacheMetrics()
+	if m1 == m0 {
+		t.Fatal("cold leapfrog execution encoded nothing (no cache misses)")
+	}
+
+	// Same query against the same snapshot: the warm plan re-executes and
+	// every λ encoding is a hit, with no new misses.
+	if code, _, _ := post(t, ts.URL, QueryRequest{Query: triangle}); code != http.StatusOK {
+		t.Fatalf("second query: status %d", code)
+	}
+	h2, m2 := hypertree.ColumnarCacheMetrics()
+	if h2 == h1 {
+		t.Fatal("warm re-execution did not hit the encoding cache")
+	}
+	if m2 != m1 {
+		t.Fatalf("warm re-execution re-encoded: misses %d → %d", m1, m2)
+	}
+
+	// Ingest swaps the database snapshot: the cache generation is dead, so
+	// the next execution must re-encode (fresh misses).
+	if code, raw := postJSON(t, ts.URL+"/admin/ingest", IngestRequest{Facts: "r1(q1, q2). r2(q2, q3). r3(q3, q1)."}); code != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", code, raw)
+	}
+	if code, _, _ := post(t, ts.URL, QueryRequest{Query: triangle}); code != http.StatusOK {
+		t.Fatalf("post-ingest query: status %d", code)
+	}
+	_, m3 := hypertree.ColumnarCacheMetrics()
+	if m3 == m2 {
+		t.Fatal("post-ingest execution served encodings of the dead snapshot")
+	}
+
+	// Both counters surface in the JSON snapshot and the Prometheus text.
+	var met Metrics
+	getJSON(t, ts.URL+"/admin/metrics.json", &met)
+	if met.ColumnarCacheHits == 0 || met.ColumnarCacheMisses == 0 {
+		t.Fatalf("metrics.json columnar counters = %d/%d, want both > 0", met.ColumnarCacheHits, met.ColumnarCacheMisses)
+	}
+	resp, err := http.Get(ts.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{"hdserve_columnar_cache_hits_total", "hdserve_columnar_cache_misses_total"} {
+		if !strings.Contains(string(body), series) {
+			t.Fatalf("/admin/metrics missing %s", series)
+		}
+	}
+}
+
+// Traced executions feed the per-node q-error feedback; the medians must
+// surface as the hdserve_node_qerror_median gauge family.
+func TestNodeQErrorSeriesExported(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if code, _, _ := post(t, ts.URL, QueryRequest{Query: `r1(X, Y), r2(Y, Z), r3(Z, X)`, Trace: true}); code != http.StatusOK {
+			t.Fatalf("traced query: status %d", code)
+		}
+	}
+	var met Metrics
+	getJSON(t, ts.URL+"/admin/metrics.json", &met)
+	if len(met.NodeQErrors) == 0 {
+		t.Fatal("no per-node q-error medians after traced executions")
+	}
+	for node, q := range met.NodeQErrors {
+		if q < 1 {
+			t.Fatalf("node %q median q-error %g < 1 (q-error is ≥ 1 by definition)", node, q)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "hdserve_node_qerror_median{node=") {
+		t.Fatal("/admin/metrics missing the hdserve_node_qerror_median family")
+	}
+}

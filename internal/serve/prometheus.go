@@ -35,6 +35,20 @@ func writePromMetrics(w io.Writer, m Metrics) {
 	promSample(w, "span_export_failures_total", "OTel span exports that errored.", "counter", float64(m.SpanExportFailures))
 	fmt.Fprintf(w, "# HELP %s_stats_info Live statistics snapshot identity.\n# TYPE %s_stats_info gauge\n%s_stats_info{fingerprint=%q} 1\n",
 		promNamespace, promNamespace, promNamespace, m.StatsFingerprint)
+	promSample(w, "columnar_cache_hits_total", "Columnar encoding cache hits (leapfrog λ encodings reused).", "counter", float64(m.ColumnarCacheHits))
+	promSample(w, "columnar_cache_misses_total", "Columnar encoding cache misses (λ relations encoded).", "counter", float64(m.ColumnarCacheMisses))
+	if len(m.NodeQErrors) > 0 {
+		fmt.Fprintf(w, "# HELP %s_node_qerror_median Median q-error of recent executions per decomposition node under the live statistics snapshot.\n# TYPE %s_node_qerror_median gauge\n",
+			promNamespace, promNamespace)
+		nodes := make([]string, 0, len(m.NodeQErrors))
+		for n := range m.NodeQErrors {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			fmt.Fprintf(w, "%s_node_qerror_median{node=%q} %s\n", promNamespace, n, promFloat(m.NodeQErrors[n]))
+		}
+	}
 	promSample(w, "plan_cache_hits_total", "Plan cache hits.", "counter", float64(m.Cache.Hits))
 	promSample(w, "plan_cache_misses_total", "Plan cache misses (fresh compiles).", "counter", float64(m.Cache.Misses))
 	promSample(w, "plan_cache_evictions_total", "Plans evicted by LRU displacement or TTL expiry.", "counter", float64(m.Cache.Evictions))

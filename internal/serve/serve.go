@@ -119,6 +119,11 @@ type Config struct {
 	// RefreshCooldown is the minimum spacing between feedback-triggered
 	// refreshes (≤ 0: stats.DefaultCooldown).
 	RefreshCooldown time.Duration
+	// JoinKernel selects the intra-bag join kernel every compile uses
+	// ("chain", "leapfrog" or "auto"; "" keeps the chain default). Kernel
+	// choice is answer-neutral and part of the PlanCache key; "auto" prices
+	// each bag against the live statistics snapshot (cost-aware selection).
+	JoinKernel string
 }
 
 // withDefaults resolves every unset Config field.
@@ -272,9 +277,15 @@ func New(cfg Config, opts ...Option) (*Server, error) {
 	// WithCostModel(live snapshot), so identical options (and one stats
 	// fingerprint at a time) mean every α-equivalent query shares one cache
 	// slot per snapshot.
+	kernel, err := hypertree.ParseJoinKernel(cfg.JoinKernel)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s.baseOpts = []hypertree.CompileOption{
 		hypertree.WithAutoStrategy(),
 		hypertree.WithStepBudget(cfg.StepBudget),
+		hypertree.WithJoinKernel(kernel),
 	}
 	for _, o := range opts {
 		o(s)
@@ -774,6 +785,18 @@ type Metrics struct {
 	CacheHitRate    float64                `json:"cache_hit_rate"`
 	CacheCapacity   int                    `json:"cache_capacity"`
 	CacheTTLSeconds float64                `json:"cache_ttl_s"`
+	// ColumnarCacheHits and ColumnarCacheMisses are the process-wide
+	// Columnar encoding-cache totals (hypertree.ColumnarCacheMetrics): the
+	// leapfrog kernel encodes λ relations through a per-plan cache, so a
+	// warm plan repeating against one database snapshot hits after its first
+	// execution, and an /admin/ingest swap shows up as fresh misses.
+	ColumnarCacheHits   uint64 `json:"columnar_cache_hits"`
+	ColumnarCacheMisses uint64 `json:"columnar_cache_misses"`
+	// NodeQErrors maps decomposition-node labels to the median q-error over
+	// their recent executions under the live statistics fingerprint — the
+	// same per-node signal the refresh trigger watches, exported as the
+	// hdserve_node_qerror_median{node=...} gauge family.
+	NodeQErrors map[string]float64 `json:"node_qerrors,omitempty"`
 	// Routes maps each HTTP route to its latency histogram snapshot.
 	Routes map[string]HistogramSnapshot `json:"routes"`
 	// Stages maps each /query pipeline stage ("compile", "execute") to its
@@ -812,6 +835,18 @@ func (s *Server) Metrics() Metrics {
 	}
 	if cm.Hits+cm.Misses > 0 {
 		m.CacheHitRate = float64(cm.Hits) / float64(cm.Hits+cm.Misses)
+	}
+	m.ColumnarCacheHits, m.ColumnarCacheMisses = hypertree.ColumnarCacheMetrics()
+	live := m.StatsFingerprint
+	window := qWindowOrDefault(s.cfg.QErrorWindow)
+	for _, e := range hypertree.QErrorReport() {
+		if e.Fingerprint != live {
+			continue
+		}
+		if m.NodeQErrors == nil {
+			m.NodeQErrors = map[string]float64{}
+		}
+		m.NodeQErrors[e.Node] = e.MedianRecent(min(len(e.Recent), window))
 	}
 	s.histMu.Lock()
 	for route, h := range s.hists {

@@ -1,0 +1,89 @@
+package stats
+
+import "math"
+
+// This file is the bag-level costing interface behind cost-aware kernel
+// selection (internal/hdeval): the planner extracts per-edge row and
+// distinct-count estimates from a Stats snapshot into EdgeRels, and the
+// evaluator prices each bag's λ-join as a left-deep hash chain to compare
+// against the leapfrog kernel's encode+enumerate cost.
+
+// EdgeStats carries the per-hyperedge estimates the planner extracts from a
+// Stats snapshot for the evaluator: Rows[e] is the estimated cardinality of
+// edge e's bound atom table, Distinct[e] maps each variable the edge binds
+// to its distinct-value count there (repeated variables keep the minimum
+// across their columns). Either slice may be shorter than the edge count;
+// the consumer treats an out-of-range edge as "no statistics".
+type EdgeStats struct {
+	// Rows is the per-edge cardinality estimate.
+	Rows []float64
+	// Distinct is the per-edge variable→distinct-count map.
+	Distinct []map[int]float64
+}
+
+// EdgeRel describes one input of a multiway join for cost estimation: its
+// estimated cardinality, the variables it binds, and per-variable distinct
+// counts. A variable missing from Distinct defaults to Rows (every row
+// distinct — the conservative, selectivity-free assumption).
+type EdgeRel struct {
+	// Rows is the estimated cardinality of the input.
+	Rows float64
+	// Vars are the variables the input binds.
+	Vars []int
+	// Distinct maps a variable to its distinct-value count in this input.
+	Distinct map[int]float64
+}
+
+// distinctOf returns r's distinct count for v, defaulted to Rows and
+// clamped to [1, Rows].
+func (r EdgeRel) distinctOf(v int) float64 {
+	rows := math.Max(r.Rows, 1)
+	d, ok := r.Distinct[v]
+	if !ok || d <= 0 {
+		return rows
+	}
+	return math.Min(math.Max(d, 1), rows)
+}
+
+// ChainEstimate prices a left-deep hash-join chain over rels in the given
+// order. It returns the estimated final join cardinality and the chain's
+// total work — the summed sizes of every probe side, build side and
+// intermediate result — using the System-R estimate
+// |A ⋈ B| = |A|·|B| / Π_v max(d_A(v), d_B(v)) over the shared variables,
+// with per-variable distinct counts carried forward as minima. ok is false
+// when rels is empty or an input has no usable row estimate (Rows < 0).
+func ChainEstimate(rels []EdgeRel) (joinSize, work float64, ok bool) {
+	if len(rels) == 0 {
+		return 0, 0, false
+	}
+	for i := range rels {
+		if rels[i].Rows < 0 {
+			return 0, 0, false
+		}
+	}
+	acc := rels[0].Rows
+	dv := map[int]float64{}
+	for _, v := range rels[0].Vars {
+		dv[v] = rels[0].distinctOf(v)
+	}
+	work = acc
+	for _, r := range rels[1:] {
+		out := acc * r.Rows
+		for _, v := range r.Vars {
+			if d0, seen := dv[v]; seen {
+				d1 := r.distinctOf(v)
+				if m := math.Max(d0, d1); m > 1 {
+					out /= m
+				}
+				if d1 < d0 {
+					dv[v] = d1
+				}
+			} else {
+				dv[v] = r.distinctOf(v)
+			}
+		}
+		work += acc + r.Rows + out
+		acc = out
+	}
+	return acc, work, true
+}

@@ -23,6 +23,42 @@ import (
 type Node struct {
 	Table    *relation.Table
 	Children []*Node
+	// Enc, when non-nil, is the columnar encoding of Table (same variable
+	// order, rows sorted). The leapfrog kernel attaches it for free — its
+	// join output is already sorted — and the full reducer then runs
+	// merge-semijoins over the sorted code blocks instead of hash
+	// build+probe wherever the orders line up (see relation.MergeSemijoin).
+	// Whenever a hash semijoin actually drops rows, Enc is invalidated.
+	Enc *relation.Columnar
+}
+
+// DisableMergeSemijoin globally forces the full reducer onto the hash
+// semijoin path even when both sides carry encodings — the differential
+// tests and benchmarks use it to compare the two reducer kernels on
+// identical trees.
+var DisableMergeSemijoin atomic.Bool
+
+// semijoinNode replaces dst's rows with dst ⋉ src, preferring the
+// merge-semijoin over the sorted encodings when both sides carry one and
+// the column orders make the pair merge-eligible. Reports whether the merge
+// kernel ran. On the hash path dst's encoding survives only if no row was
+// dropped (the encoding still describes the table exactly).
+func semijoinNode(dst, src *Node) bool {
+	if !DisableMergeSemijoin.Load() && dst.Enc != nil && src.Enc != nil {
+		if out, ok := relation.MergeSemijoin(dst.Enc, src.Enc); ok {
+			if out != dst.Enc {
+				dst.Enc = out
+				dst.Table = out.Table()
+			}
+			return true
+		}
+	}
+	nt := dst.Table.Semijoin(src.Table)
+	if nt.Rows() != dst.Table.Rows() {
+		dst.Enc = nil
+	}
+	dst.Table = nt
+	return false
 }
 
 // FromJoinTree binds each atom of an acyclic query to its relation and
@@ -197,13 +233,13 @@ func Reduce(root *Node) {
 	up = func(n *Node) {
 		for _, c := range n.Children {
 			up(c)
-			n.Table = n.Table.Semijoin(c.Table)
+			semijoinNode(n, c)
 		}
 	}
 	var down func(n *Node)
 	down = func(n *Node) {
 		for _, c := range n.Children {
-			c.Table = c.Table.Semijoin(n.Table)
+			semijoinNode(c, n)
 			down(c)
 		}
 	}
@@ -219,6 +255,7 @@ func Reduce(root *Node) {
 func ReduceContext(ctx context.Context, root *Node) error {
 	tr := obs.FromContext(ctx)
 	upSp := tr.StartSpan(obs.SpanSemijoinUp)
+	merges := 0
 	var up func(n *Node) error
 	up = func(n *Node) error {
 		if err := ctx.Err(); err != nil {
@@ -228,7 +265,9 @@ func ReduceContext(ctx context.Context, root *Node) error {
 			if err := up(c); err != nil {
 				return err
 			}
-			n.Table = n.Table.Semijoin(c.Table)
+			if semijoinNode(n, c) {
+				merges++
+			}
 			upSp.AddSteps(1)
 		}
 		return nil
@@ -240,7 +279,9 @@ func ReduceContext(ctx context.Context, root *Node) error {
 			return err
 		}
 		for _, c := range n.Children {
-			c.Table = c.Table.Semijoin(n.Table)
+			if semijoinNode(c, n) {
+				merges++
+			}
 			downSp.AddSteps(1)
 			if err := down(c); err != nil {
 				return err
@@ -252,12 +293,19 @@ func ReduceContext(ctx context.Context, root *Node) error {
 		return err
 	}
 	upSp.SetRows(root.Table.Rows())
+	if merges > 0 {
+		upSp.SetLabel(fmt.Sprintf("merge=%d", merges))
+	}
 	upSp.End()
 	downSp = tr.StartSpan(obs.SpanSemijoinDown)
+	merges = 0
 	if err := down(root); err != nil {
 		return err
 	}
 	downSp.SetRows(root.Table.Rows())
+	if merges > 0 {
+		downSp.SetLabel(fmt.Sprintf("merge=%d", merges))
+	}
 	downSp.End()
 	return nil
 }
@@ -305,6 +353,9 @@ func parallelReduce(ctx context.Context, root *Node, workers int, halted *atomic
 	// (AddSteps is atomic); each pass Ends only after its recursion has
 	// fully joined, so the counts are complete when the span publishes.
 	upSp := tr.StartSpan(obs.SpanSemijoinUp)
+	// Merge-kernel counts are bumped from worker goroutines; each pass reads
+	// its counter only after the recursion joined.
+	var merges atomic.Int64
 	var up func(n *Node)
 	up = func(n *Node) {
 		var wg sync.WaitGroup
@@ -321,7 +372,9 @@ func parallelReduce(ctx context.Context, root *Node, workers int, halted *atomic
 		}
 		sem <- struct{}{}
 		for _, c := range n.Children {
-			n.Table = n.Table.Semijoin(c.Table)
+			if semijoinNode(n, c) {
+				merges.Add(1)
+			}
 			upSp.AddSteps(1)
 		}
 		<-sem
@@ -334,7 +387,9 @@ func parallelReduce(ctx context.Context, root *Node, workers int, halted *atomic
 		}
 		sem <- struct{}{}
 		for _, c := range n.Children {
-			c.Table = c.Table.Semijoin(n.Table)
+			if semijoinNode(c, n) {
+				merges.Add(1)
+			}
 			downSp.AddSteps(1)
 		}
 		<-sem
@@ -350,10 +405,17 @@ func parallelReduce(ctx context.Context, root *Node, workers int, halted *atomic
 	}
 	up(root)
 	upSp.SetRows(root.Table.Rows())
+	if m := merges.Load(); m > 0 {
+		upSp.SetLabel(fmt.Sprintf("merge=%d", m))
+	}
 	upSp.End()
 	downSp = tr.StartSpan(obs.SpanSemijoinDown)
+	merges.Store(0)
 	down(root)
 	downSp.SetRows(root.Table.Rows())
+	if m := merges.Load(); m > 0 {
+		downSp.SetLabel(fmt.Sprintf("merge=%d", m))
+	}
 	downSp.End()
 }
 

@@ -259,3 +259,76 @@ func TestFromJoinTreeErrors(t *testing.T) {
 		t.Fatalf("nil join tree accepted")
 	}
 }
+
+// attachEncs walks the tree encoding every table. hubFirst selects the
+// column order: the shared (hub) variable first — making the node
+// merge-aligned with its neighbours — or last, which forces the trie-probe
+// kernel on one side of each semijoin.
+func attachEncs(n *Node, hubFirst bool) {
+	order := append([]int(nil), n.Table.Vars...)
+	if len(order) > 1 && !hubFirst {
+		order[0], order[len(order)-1] = order[len(order)-1], order[0]
+	}
+	n.Enc = relation.NewColumnar(n.Table, order)
+	n.Table = n.Enc.Table()
+	for _, c := range n.Children {
+		attachEncs(c, hubFirst)
+	}
+}
+
+// TestMergeSemijoinReducerAgrees is the reducer differential: with
+// encodings attached, Reduce/ParallelReduce over the merge-semijoin kernel
+// must leave every table equal to the hash reducer's, over star and chain
+// trees and both encoding orders.
+func TestMergeSemijoinReducerAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	queries := []*cq.Query{
+		cq.MustParse(`r(X,A), s(X,B), u(X,C), w(X,D)`),
+		cq.MustParse(`r(X,Y), s(Y,Z), t(Z,W), s2(Y,V)`),
+	}
+	for trial := 0; trial < 40; trial++ {
+		q := queries[trial%len(queries)]
+		db := relation.NewDatabase()
+		for _, name := range []string{"r", "s", "t", "u", "w", "s2"} {
+			for i := 0; i < 1+rng.Intn(15); i++ {
+				db.AddFact(name, val(rng.Intn(6)), val(rng.Intn(6)))
+			}
+		}
+		hubFirst := trial%2 == 0
+		mergeRoot, err := FromJoinTree(db, q, treeFor(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashRoot, _ := FromJoinTree(db, q, treeFor(q))
+		parRoot, _ := FromJoinTree(db, q, treeFor(q))
+		attachEncs(mergeRoot, hubFirst)
+		attachEncs(hashRoot, hubFirst)
+		attachEncs(parRoot, hubFirst)
+		Reduce(mergeRoot)
+		ParallelReduce(parRoot, 4)
+		DisableMergeSemijoin.Store(true)
+		Reduce(hashRoot)
+		DisableMergeSemijoin.Store(false)
+		var cmp func(a, b *Node) bool
+		cmp = func(a, b *Node) bool {
+			if !a.Table.Equal(b.Table) || len(a.Children) != len(b.Children) {
+				return false
+			}
+			if a.Enc != nil && !a.Enc.Table().Equal(a.Table) {
+				return false
+			}
+			for i := range a.Children {
+				if !cmp(a.Children[i], b.Children[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		if !cmp(mergeRoot, hashRoot) {
+			t.Fatalf("trial %d (hubFirst=%v): merge and hash reducers disagree", trial, hubFirst)
+		}
+		if !cmp(parRoot, hashRoot) {
+			t.Fatalf("trial %d (hubFirst=%v): parallel merge reducer disagrees", trial, hubFirst)
+		}
+	}
+}

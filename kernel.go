@@ -23,9 +23,14 @@ type JoinKernel = hdeval.Kernel
 // variables lead the order, so node tables stream out sorted and distinct,
 // and with fractional cover weights the existential suffix is ordered by
 // descending cover weight, making total work worst-case optimal with
-// respect to the AGM bound r^fhw. JoinKernelAuto picks per node: leapfrog
-// on bags joining ≥ 3 relations (or ≥ 2 under a fractional cover), the
-// chain elsewhere.
+// respect to the AGM bound r^fhw. JoinKernelAuto picks per node: with a
+// statistics snapshot attached (WithStats/WithCostModel) each bag's λ-join
+// is priced as a hash chain versus a leapfrog encode+enumerate from the
+// per-edge row and distinct-count estimates — capped by the AGM bound
+// under fractional covers — and the cheaper kernel runs; without
+// statistics the arity rule decides (leapfrog on bags joining ≥ 3
+// relations, or ≥ 2 under a fractional cover). Every decision is recorded
+// per node, qualified with its reason, in Plan.Explain and on node spans.
 const (
 	JoinKernelChain    JoinKernel = hdeval.KernelChain
 	JoinKernelLeapfrog JoinKernel = hdeval.KernelLeapfrog
@@ -64,4 +69,14 @@ func (p *Plan) JoinKernel() JoinKernel {
 		return JoinKernelChain
 	}
 	return p.kernel
+}
+
+// ColumnarCacheMetrics returns the process-wide hit/miss totals of the
+// plan-level Columnar encoding cache the leapfrog kernel encodes λ
+// relations through (monotonic since process start). A warm plan executing
+// repeatedly against one database snapshot hits on every λ encoding after
+// the first execution; a database swap invalidates every cached encoding,
+// so misses after a swap mean re-encoding, not a defect.
+func ColumnarCacheMetrics() (hits, misses uint64) {
+	return hdeval.ColumnarCacheCounters()
 }

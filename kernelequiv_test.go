@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hypertree/internal/gen"
+	"hypertree/internal/yannakakis"
 )
 
 // The differential proof obligation of the leapfrog kernel: on randomized
@@ -89,6 +90,64 @@ func TestKernelEquivalence(t *testing.T) {
 					if !gotS.Equal(want) {
 						t.Fatalf("%s/%s sharded disagrees with naive on %s", dname, k, tc.Q)
 					}
+				}
+			}
+		})
+	}
+}
+
+// The merge-semijoin full reducer must be answer-invisible: with the merge
+// path disabled (hash semijoins everywhere, the historical reducer) every
+// plan returns exactly what it returns with the merge path on, and both
+// match the naive join. Leapfrog-kerneled plans attach sorted encodings to
+// their node tables, so the reducer's merge path actually fires here; the
+// sharded leg rides along to cover the hash fallback on merged shard
+// tables. Run under -race in CI.
+func TestMergeReducerEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range gen.KernelCases(4217, 14) {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			naive, err := Compile(tc.Q, WithStrategy(StrategyNaive))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := naive.Execute(ctx, tc.DB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pdb, err := PartitionDatabase(tc.DB, 3, HashPartition)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []JoinKernel{JoinKernelLeapfrog, JoinKernelAuto} {
+				plan, err := Compile(tc.Q, WithStrategy(StrategyHypertree),
+					WithStats(tc.DB), WithJoinKernel(k))
+				if err != nil {
+					t.Fatalf("%s compile: %v", k, err)
+				}
+				withMerge, err := plan.Execute(ctx, tc.DB)
+				if err != nil {
+					t.Fatalf("%s execute: %v", k, err)
+				}
+				shardedMerge, err := plan.ExecuteSharded(ctx, pdb)
+				if err != nil {
+					t.Fatalf("%s sharded: %v", k, err)
+				}
+				yannakakis.DisableMergeSemijoin.Store(true)
+				hashOnly, errHash := plan.Execute(ctx, tc.DB)
+				yannakakis.DisableMergeSemijoin.Store(false)
+				if errHash != nil {
+					t.Fatalf("%s hash-only execute: %v", k, errHash)
+				}
+				if !withMerge.Equal(want) {
+					t.Fatalf("%s merge-reduced answers disagree with naive on %s", k, tc.Q)
+				}
+				if !hashOnly.Equal(withMerge) {
+					t.Fatalf("%s: hash-only and merge reducers disagree on %s", k, tc.Q)
+				}
+				if !shardedMerge.Equal(want) {
+					t.Fatalf("%s sharded merge-reduced answers disagree with naive on %s", k, tc.Q)
 				}
 			}
 		})

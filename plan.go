@@ -354,7 +354,14 @@ func compilePlan(ctx context.Context, q *Query, cfg *compileConfig) (*Plan, erro
 			}
 		}
 		p.dec = dec
-		p.eval, err = hdeval.NewEvaluatorKernel(q, dec, p.edgeRows, p.JoinKernel())
+		var es *stats.EdgeStats
+		if cfg.stats != nil {
+			es = &stats.EdgeStats{
+				Rows:     p.edgeRows,
+				Distinct: edgeDistinctFor(q, edgeToAtom, cfg.stats),
+			}
+		}
+		p.eval, err = hdeval.NewEvaluatorCost(q, dec, es, p.JoinKernel())
 		if err != nil {
 			return nil, err
 		}

@@ -176,6 +176,8 @@ var requiredSeries = []string{
 	"hdserve_executions_total",
 	"hdserve_plan_cache_hits_total",
 	"hdserve_plan_cache_misses_total",
+	"hdserve_columnar_cache_hits_total",
+	"hdserve_columnar_cache_misses_total",
 	"hdserve_stats_refresh_total",
 	"hdserve_trace_sampled_total",
 	"hdserve_trace_sample_every",

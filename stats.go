@@ -122,6 +122,37 @@ func edgeRowsFor(q *Query, edgeToAtom []int, s *Stats) []float64 {
 	return rows
 }
 
+// edgeDistinctFor extracts, per hypergraph edge, the variable→distinct-count
+// map the cost-aware kernel selector prices bags with: for each variable the
+// edge's atom binds, the smallest distinct-value count across the columns
+// carrying it (repeated variables act as an equality selection, so the
+// minimum is the sound survivor count). Columns the snapshot has never seen
+// are simply absent — the consumer defaults a missing variable to the row
+// count, the selectivity-free assumption.
+func edgeDistinctFor(q *Query, edgeToAtom []int, s *Stats) []map[int]float64 {
+	out := make([]map[int]float64, len(edgeToAtom))
+	for e, ai := range edgeToAtom {
+		atom := q.Atoms[ai]
+		dv := map[int]float64{}
+		for col, t := range atom.Args {
+			if !t.IsVar {
+				continue
+			}
+			vi, found := q.VarIndex(t.Name)
+			if !found {
+				continue
+			}
+			if c := s.Distinct(atom.Pred, col); c > 0 {
+				if cur, seen := dv[vi]; !seen || float64(c) < cur {
+					dv[vi] = float64(c)
+				}
+			}
+		}
+		out[e] = dv
+	}
+	return out
+}
+
 // refineEstimates tightens the annotated per-node cardinality estimates
 // with the per-column distinct counts: the node's table is a set of
 // χ-tuples, so it can never exceed Π_{v∈χ} d(v), where d(v) is the smallest
